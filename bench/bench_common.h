@@ -1,0 +1,93 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// Shared harness for the figure/table reproduction benches: workload + index
+// acquisition, recall/QPS sweeps for SONG, HNSW and IVFPQ, fixed-recall
+// interpolation (Table II / Fig 6), and paper-style table printing.
+
+#ifndef SONG_BENCH_BENCH_COMMON_H_
+#define SONG_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/hnsw.h"
+#include "baselines/ivfpq.h"
+#include "data/workload.h"
+#include "gpusim/faiss_model.h"
+#include "gpusim/gpu_spec.h"
+#include "gpusim/simulator.h"
+#include "song/search_options.h"
+
+namespace song::bench {
+
+/// One point of a recall/throughput curve.
+struct CurvePoint {
+  size_t param = 0;     ///< queue size (SONG/HNSW ef) or nprobe (IVFPQ)
+  double recall = 0.0;
+  double qps = 0.0;     ///< headline throughput for the series
+  double cpu_qps = 0.0; ///< measured CPU wall-clock throughput
+  KernelBreakdown gpu;  ///< populated for SONG series
+};
+
+struct Curve {
+  std::string label;
+  std::vector<CurvePoint> points;
+};
+
+/// Benchmark environment (threads, GPU, cache/scale), resolved from env
+/// vars: SONG_BENCH_THREADS, SONG_BENCH_SCALE, SONG_CACHE_DIR.
+struct BenchEnv {
+  size_t threads = 0;
+  GpuSpec gpu = GpuSpec::V100();
+  WorkloadOptions workload_options;
+
+  static BenchEnv FromEnv();
+};
+
+/// Default parameter sweeps.
+std::vector<size_t> DefaultQueueSizes(size_t k);
+std::vector<size_t> DefaultNprobes(size_t nlist);
+
+/// A workload plus the indexes the comparisons need (built lazily).
+class BenchContext {
+ public:
+  BenchContext(const std::string& preset, const BenchEnv& env);
+
+  const Workload& workload() const { return workload_; }
+  const FixedDegreeGraph& graph();  ///< NSW degree-16, cached on disk
+  const Hnsw& hnsw();               ///< built once per process
+  const IvfPqIndex& ivfpq();        ///< built once per process
+  const BenchEnv& env() const { return env_; }
+
+  /// SONG on the simulated GPU: sweep queue sizes, report sim QPS + recall.
+  Curve SweepSong(size_t k, const std::vector<size_t>& queue_sizes,
+                  SongSearchOptions base = {},
+                  const char* label = "SONG");
+
+  /// Single-thread HNSW (the paper's CPU baseline), measured wall clock.
+  Curve SweepHnsw(size_t k, const std::vector<size_t>& efs);
+
+  /// IVFPQ on the simulated GPU: sweep nprobe.
+  Curve SweepIvfpq(size_t k, const std::vector<size_t>& nprobes);
+
+ private:
+  BenchEnv env_;
+  Workload workload_;
+  bool graph_built_ = false;
+  FixedDegreeGraph graph_;
+  std::unique_ptr<Hnsw> hnsw_;
+  std::unique_ptr<IvfPqIndex> ivfpq_;
+};
+
+/// Interpolates a curve's QPS at a recall target; returns <= 0 when the
+/// curve never reaches the target (the paper's "N/A").
+double QpsAtRecall(const Curve& curve, double recall_target);
+
+/// Pretty-printers.
+void PrintHeader(const std::string& title);
+void PrintCurve(const Curve& curve, const char* param_name);
+
+}  // namespace song::bench
+
+#endif  // SONG_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,94 @@
+// Fig 14 reproduction: out-of-GPU-memory datasets via 1-bit random
+// projections, on the MNIST-like presets (mnist1m = the §VIII-H subsample,
+// mnist = the full preset), top-1, priced on TITAN X (the smallest-memory
+// card in the paper). Series: SONG on the original floats vs Hash-32/64/
+// 128/256/512. Expected shape: more bits -> better recall ceiling; mid-size
+// codes track the original closely at moderate recall while computing much
+// cheaper distances; tiny codes saturate early.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/recall.h"
+#include "hashing/hashed_index.h"
+#include "hashing/random_projection.h"
+
+using song::bench::BenchContext;
+using song::bench::BenchEnv;
+using song::bench::Curve;
+using song::bench::CurvePoint;
+using song::bench::PrintCurve;
+using song::bench::PrintHeader;
+
+namespace {
+// Near-duplicate families make Hamming plateaus expensive to sweep finely
+// on one core; four queue sizes are enough to trace the Fig 14 shape.
+const std::vector<size_t> kQueueSweep = {16, 64, 256, 512};
+}  // namespace
+
+int main() {
+  BenchEnv env = BenchEnv::FromEnv();
+  env.gpu = song::GpuSpec::TitanX();
+  constexpr size_t kTop = 1;
+
+  for (const char* preset : {"mnist1m", "mnist"}) {
+    BenchContext ctx(preset, env);
+    const song::Workload& w = ctx.workload();
+    PrintHeader("Fig 14: hashing on " + w.name + " top-1 (TITAN X)");
+
+    // Original full-precision data.
+    {
+      song::SongSearcher searcher(&w.data, &ctx.graph(), w.metric);
+      Curve curve;
+      curve.label = "SONG (original)";
+      for (const size_t qs : kQueueSweep) {
+        song::SongSearchOptions options =
+            song::SongSearchOptions::HashTableSelDel();
+        options.queue_size = qs;
+        const song::SimulatedRun run = SimulateBatch(
+            searcher, w.queries, kTop, options, env.gpu, env.threads);
+        CurvePoint pt;
+        pt.param = qs;
+        pt.recall =
+            song::MeanRecallAtK(run.batch.Ids(), w.ground_truth, kTop);
+        pt.qps = run.SimQps();
+        pt.cpu_qps = run.batch.Qps();
+        curve.points.push_back(pt);
+      }
+      PrintCurve(curve, "queue");
+      std::printf("   device bytes (data+graph): %.1f MB\n",
+                  (w.data.PayloadBytes() + ctx.graph().MemoryBytes()) /
+                      (1024.0 * 1024.0));
+    }
+
+    // Hashed variants: same NSW graph, Hamming distances over packed codes.
+    for (const size_t bits : {32, 64, 128, 256, 512}) {
+      song::RandomProjection proj(w.data.dim(), bits,
+                                  song::ProjectionKind::kNormal, 77);
+      const song::BinaryCodes codes = proj.EncodeDataset(w.data, env.threads);
+      song::HashedSongIndex index(&codes, &ctx.graph(), &proj);
+      Curve curve;
+      curve.label = "Hash-" + std::to_string(bits);
+      for (const size_t qs : kQueueSweep) {
+        song::SongSearchOptions options =
+            song::SongSearchOptions::HashTableSelDel();
+        options.queue_size = qs;
+        const song::SimulatedRun run = SimulateHashedBatch(
+            index, w.queries, kTop, options, env.gpu, env.threads);
+        CurvePoint pt;
+        pt.param = qs;
+        pt.recall =
+            song::MeanRecallAtK(run.batch.Ids(), w.ground_truth, kTop);
+        pt.qps = run.SimQps();
+        pt.cpu_qps = run.batch.Qps();
+        curve.points.push_back(pt);
+      }
+      PrintCurve(curve, "queue");
+      std::printf("   device bytes (codes+graph): %.1f MB\n",
+                  index.DeviceMemoryBytes() / (1024.0 * 1024.0));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Fig 5 reproduction: QPS-vs-recall of SONG (simulated V100), Faiss-IVFPQ
+// (simulated V100) and single-thread HNSW (measured). The paper shows
+// top-1/10/50/100 for NYTimes and top-10/100 for SIFT, GloVe200, UQ_V and
+// GIST. Curves closer to the top-right are better.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using song::bench::BenchContext;
+using song::bench::BenchEnv;
+using song::bench::Curve;
+using song::bench::DefaultNprobes;
+using song::bench::DefaultQueueSizes;
+using song::bench::PrintCurve;
+using song::bench::PrintHeader;
+
+namespace {
+
+void RunPanel(BenchContext& ctx, size_t k) {
+  PrintHeader("Fig 5: " + ctx.workload().name + " top-" +
+              std::to_string(k));
+  song::SongSearchOptions base = song::SongSearchOptions::HashTableSelDel();
+  PrintCurve(ctx.SweepSong(k, DefaultQueueSizes(k), base), "queue");
+  PrintCurve(ctx.SweepIvfpq(k, DefaultNprobes(ctx.ivfpq().nlist())),
+             "nprobe");
+  PrintCurve(ctx.SweepHnsw(k, DefaultQueueSizes(k)), "ef");
+}
+
+}  // namespace
+
+int main() {
+  const BenchEnv env = BenchEnv::FromEnv();
+  {
+    BenchContext nytimes("nytimes", env);
+    for (const size_t k : {1, 10, 50, 100}) RunPanel(nytimes, k);
+  }
+  for (const char* preset : {"sift", "glove200", "uq_v", "gist"}) {
+    BenchContext ctx(preset, env);
+    for (const size_t k : {10, 100}) RunPanel(ctx, k);
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Fig 7 reproduction: the visited-structure alternatives at top-100 on SIFT
+// and NYTimes — basic hash table, +selected insertion, +visited deletion,
+// Bloom filter and Cuckoo filter. The paper's observations to reproduce:
+//  * SIFT: sel+del best; filters sit between basic and sel+del.
+//  * NYTimes (needs queue sizes in the thousands): hashtable-sel leads at
+//    low recall but its table outgrows fast memory at high recall and its
+//    throughput collapses; sel+del stays bounded (2K) and wins; the
+//    probabilistic filters are competitive at high recall because they stay
+//    small.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using song::bench::BenchContext;
+using song::bench::BenchEnv;
+using song::bench::Curve;
+using song::bench::DefaultQueueSizes;
+using song::bench::PrintCurve;
+using song::bench::PrintHeader;
+
+int main() {
+  const BenchEnv env = BenchEnv::FromEnv();
+  constexpr size_t kTop = 100;
+
+  const std::vector<std::pair<const char*, song::SongSearchOptions>> configs =
+      {{"SONG-hashtable", song::SongSearchOptions::HashTable()},
+       {"SONG-hashtable-sel", song::SongSearchOptions::HashTableSel()},
+       {"SONG-hashtable-sel-del",
+        song::SongSearchOptions::HashTableSelDel()},
+       {"SONG-bloomfilter", song::SongSearchOptions::Bloom()},
+       {"SONG-cuckoofilter", song::SongSearchOptions::Cuckoo()}};
+
+  for (const char* preset : {"sift", "nytimes"}) {
+    BenchContext ctx(preset, env);
+    PrintHeader("Fig 7: hash-table alternatives, " + ctx.workload().name +
+                " top-100");
+    for (const auto& [label, base] : configs) {
+      Curve curve = ctx.SweepSong(kTop, DefaultQueueSizes(kTop), base, label);
+      PrintCurve(curve, "queue");
+      // Memory context for the crossover explanation.
+      if (!curve.points.empty()) {
+        std::printf("   (largest run: visited in %s memory, %.1f KB/query)\n",
+                    curve.points.back().gpu.visited_in_shared ? "shared"
+                                                              : "GLOBAL",
+                    curve.points.back().gpu.shared_bytes_per_warp / 1024.0);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Fig 8 reproduction: multi-query in a warp (1, 2, 4 queries) on SIFT and
+// GloVe200, top-100. Paper finding: more queries per warp LOWERS throughput
+// — the candidate-locating stage is memory-bound, divergent row fetches
+// serialize, and the extra per-query structures shrink occupancy.
+
+#include <string>
+
+#include "bench_common.h"
+
+using song::bench::BenchContext;
+using song::bench::BenchEnv;
+using song::bench::DefaultQueueSizes;
+using song::bench::PrintCurve;
+using song::bench::PrintHeader;
+
+int main() {
+  const BenchEnv env = BenchEnv::FromEnv();
+  constexpr size_t kTop = 100;
+  for (const char* preset : {"sift", "glove200"}) {
+    BenchContext ctx(preset, env);
+    PrintHeader("Fig 8: multi-query in a warp, " + ctx.workload().name +
+                " top-100");
+    for (const size_t mq : {1, 2, 4}) {
+      song::SongSearchOptions base =
+          song::SongSearchOptions::HashTableSelDel();
+      base.multi_query = mq;
+      const std::string label = "SONG-MulQuery=" + std::to_string(mq);
+      PrintCurve(ctx.SweepSong(kTop, DefaultQueueSizes(kTop), base,
+                               label.c_str()),
+                 "queue");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Micro benches for the bulk-distance substrate: distance kernels across
+// the paper's dimensionalities (128..960), Hamming popcount distances for
+// the hashed path, and the end-to-end single-query SONG search cost.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "core/bitvector.h"
+#include "core/distance.h"
+#include "data/synthetic.h"
+#include "graph/nsw_builder.h"
+#include "song/song_searcher.h"
+
+namespace song {
+namespace {
+
+std::vector<float> RandomVec(size_t dim, uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<float> d;
+  std::vector<float> v(dim);
+  for (float& x : v) x = d(rng);
+  return v;
+}
+
+void BM_L2Sqr(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const auto a = RandomVec(dim, 1);
+  const auto b = RandomVec(dim, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(L2Sqr(a.data(), b.data(), dim));
+  }
+  state.SetItemsProcessed(state.iterations() * dim);
+}
+BENCHMARK(BM_L2Sqr)->Arg(128)->Arg(200)->Arg(256)->Arg(784)->Arg(960);
+
+void BM_InnerProduct(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const auto a = RandomVec(dim, 3);
+  const auto b = RandomVec(dim, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InnerProduct(a.data(), b.data(), dim));
+  }
+  state.SetItemsProcessed(state.iterations() * dim);
+}
+BENCHMARK(BM_InnerProduct)->Arg(128)->Arg(960);
+
+void BM_Hamming(benchmark::State& state) {
+  const size_t bits = static_cast<size_t>(state.range(0));
+  BinaryCodes codes(2, bits);
+  for (size_t b = 0; b < bits; b += 3) codes.SetBit(0, b);
+  for (size_t b = 0; b < bits; b += 5) codes.SetBit(1, b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        HammingDistance(codes.Row(0), codes.Row(1), codes.words()));
+  }
+  state.SetItemsProcessed(state.iterations() * bits);
+}
+BENCHMARK(BM_Hamming)->Arg(32)->Arg(128)->Arg(512);
+
+// End-to-end single-query search across visited-structure configs.
+struct SearchFixtureData {
+  Dataset data;
+  Dataset queries;
+  FixedDegreeGraph graph;
+  static SearchFixtureData& Get() {
+    static SearchFixtureData* f = [] {
+      auto* fx = new SearchFixtureData();
+      SyntheticSpec spec;
+      spec.dim = 128;
+      spec.num_points = 8000;
+      spec.num_queries = 64;
+      spec.num_clusters = 40;
+      spec.cluster_std = 0.7;
+      spec.seed = 5150;
+      SyntheticData gen = GenerateSynthetic(spec);
+      fx->data = std::move(gen.points);
+      fx->queries = std::move(gen.queries);
+      fx->graph = NswBuilder::Build(fx->data, Metric::kL2, {});
+      return fx;
+    }();
+    return *f;
+  }
+};
+
+void RunSearchBench(benchmark::State& state,
+                    const SongSearchOptions& base) {
+  auto& fx = SearchFixtureData::Get();
+  SongSearcher searcher(&fx.data, &fx.graph, Metric::kL2);
+  SongSearchOptions options = base;
+  options.queue_size = static_cast<size_t>(state.range(0));
+  SongWorkspace ws;
+  size_t qi = 0;
+  for (auto _ : state) {
+    const auto result = searcher.Search(
+        fx.queries.Row(static_cast<idx_t>(qi % fx.queries.num())), 10,
+        options, &ws);
+    benchmark::DoNotOptimize(result.data());
+    ++qi;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_SearchHashTable(benchmark::State& state) {
+  RunSearchBench(state, SongSearchOptions::HashTable());
+}
+void BM_SearchHashTableSelDel(benchmark::State& state) {
+  RunSearchBench(state, SongSearchOptions::HashTableSelDel());
+}
+void BM_SearchBloom(benchmark::State& state) {
+  RunSearchBench(state, SongSearchOptions::Bloom());
+}
+void BM_SearchCuckoo(benchmark::State& state) {
+  RunSearchBench(state, SongSearchOptions::Cuckoo());
+}
+BENCHMARK(BM_SearchHashTable)->Arg(64)->Arg(256);
+BENCHMARK(BM_SearchHashTableSelDel)->Arg(64)->Arg(256);
+BENCHMARK(BM_SearchBloom)->Arg(64)->Arg(256);
+BENCHMARK(BM_SearchCuckoo)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace song
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+// Micro ablations (google-benchmark) for the data-structure choices
+// DESIGN.md calls out:
+//  * bounded symmetric min-max heap vs std::priority_queue rebuild — the
+//    §IV-C design choice;
+//  * open-addressing hash set vs Bloom vs Cuckoo filter ops — the §IV-B/E
+//    alternatives;
+//  * probe cost as the open-addressing table fills.
+
+#include <benchmark/benchmark.h>
+
+#include <queue>
+#include <random>
+#include <vector>
+
+#include "song/bloom_filter.h"
+#include "song/bounded_heap.h"
+#include "song/cuckoo_filter.h"
+#include "song/open_addressing_set.h"
+
+namespace song {
+namespace {
+
+std::vector<Neighbor> MakeStream(size_t n, uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(0.0f, 1.0f);
+  std::vector<Neighbor> stream;
+  stream.reserve(n);
+  for (idx_t i = 0; i < n; ++i) stream.emplace_back(dist(rng), i);
+  return stream;
+}
+
+// Bounded DEPQ via symmetric min-max heap (what SONG uses).
+void BM_SmmhBoundedStream(benchmark::State& state) {
+  const size_t capacity = static_cast<size_t>(state.range(0));
+  const auto stream = MakeStream(4096, 42);
+  SymmetricMinMaxHeap heap(capacity);
+  for (auto _ : state) {
+    heap.Clear();
+    for (const Neighbor& n : stream) {
+      heap.PushBounded(n);
+      if (heap.size() > capacity / 2 && (n.id & 7) == 0) {
+        benchmark::DoNotOptimize(heap.PopMin());
+      }
+    }
+    benchmark::DoNotOptimize(heap.size());
+  }
+  state.SetItemsProcessed(state.iterations() * stream.size());
+}
+BENCHMARK(BM_SmmhBoundedStream)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+// Naive alternative: unbounded binary heap + lazy truncation (what a direct
+// CPU->GPU port would do; unbounded growth is the §IV-C motivation).
+void BM_StdPriorityQueueStream(benchmark::State& state) {
+  const size_t capacity = static_cast<size_t>(state.range(0));
+  const auto stream = MakeStream(4096, 42);
+  for (auto _ : state) {
+    std::priority_queue<Neighbor, std::vector<Neighbor>, std::greater<>> q;
+    size_t popped = 0;
+    for (const Neighbor& n : stream) {
+      q.push(n);
+      if (q.size() > capacity / 2 && (n.id & 7) == 0) {
+        benchmark::DoNotOptimize(q.top());
+        q.pop();
+        ++popped;
+      }
+    }
+    benchmark::DoNotOptimize(popped + q.size());
+  }
+  state.SetItemsProcessed(state.iterations() * stream.size());
+}
+BENCHMARK(BM_StdPriorityQueueStream)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_OpenAddressingInsertContains(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  OpenAddressingSet set(n);
+  for (auto _ : state) {
+    set.Clear();
+    for (idx_t i = 0; i < n; ++i) set.Insert(i * 2654435761u);
+    size_t hits = 0;
+    for (idx_t i = 0; i < n; ++i) hits += set.Contains(i * 2654435761u);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_OpenAddressingInsertContains)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_BloomInsertContains(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  BloomFilter bloom(10 * n);
+  for (auto _ : state) {
+    bloom.Clear();
+    for (idx_t i = 0; i < n; ++i) bloom.Insert(i * 2654435761u);
+    size_t hits = 0;
+    for (idx_t i = 0; i < n; ++i) hits += bloom.Contains(i * 2654435761u);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_BloomInsertContains)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_CuckooInsertEraseCycle(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  CuckooFilter filter(n);
+  for (auto _ : state) {
+    filter.Clear();
+    for (idx_t i = 0; i < n; ++i) filter.Insert(i * 2654435761u);
+    for (idx_t i = 0; i < n; i += 2) filter.Erase(i * 2654435761u);
+    size_t hits = 0;
+    for (idx_t i = 0; i < n; ++i) hits += filter.Contains(i * 2654435761u);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_CuckooInsertEraseCycle)->Arg(128)->Arg(1024)->Arg(8192);
+
+}  // namespace
+}  // namespace song
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Table I reproduction: dataset specifications. Prints the paper's published
+// numbers next to the scaled synthetic presets this repo actually runs.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "data/synthetic.h"
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  size_t dim;
+  size_t num;
+  size_t queries;
+  const char* size;
+};
+
+constexpr PaperRow kPaperRows[] = {
+    {"NYTimes", 256, 289761, 10000, "301 MB"},
+    {"SIFT", 128, 1000000, 10000, "501 MB"},
+    {"GloVe200", 200, 1183514, 10000, "918 MB"},
+    {"UQ_V", 256, 3295525, 10000, "3.2 GB"},
+    {"GIST", 960, 1000000, 10000, "3.6 GB"},
+    {"MNIST8m", 784, 8090000, 10000, "24 GB"},
+};
+
+}  // namespace
+
+int main() {
+  using song::bench::BenchEnv;
+  const BenchEnv env = BenchEnv::FromEnv();
+  const double scale = song::ResolveScale(env.workload_options);
+
+  song::bench::PrintHeader("Table I: dataset specifications");
+  std::printf("%-10s %5s | %-22s | %-28s\n", "", "", "paper", "this repro");
+  std::printf("%-10s %5s | %10s %10s | %10s %10s %7s\n", "dataset", "dim",
+              "#data", "#query", "#data", "#query", "MB");
+  const auto names = song::AllPresetNames();
+  for (size_t i = 0; i < names.size(); ++i) {
+    const song::SyntheticSpec spec = song::PresetSpec(names[i], scale);
+    const song::SyntheticData gen = song::GenerateSynthetic(spec);
+    const double mb =
+        static_cast<double>(gen.points.PayloadBytes()) / (1024.0 * 1024.0);
+    std::printf("%-10s %5zu | %10zu %10zu | %10zu %10zu %7.1f\n",
+                kPaperRows[i].name, spec.dim, kPaperRows[i].num,
+                kPaperRows[i].queries, gen.points.num(), gen.queries.num(),
+                mb);
+  }
+  std::printf(
+      "\nPresets keep the paper's dimensionality and distribution character\n"
+      "(NYTimes/GloVe200 skewed+clustered, SIFT/UQ_V friendly, GIST high-dim,\n"
+      "MNIST8m near-duplicate families); point counts are scaled by\n"
+      "SONG_BENCH_SCALE (currently %.2f) for CI-time runs.\n",
+      scale);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Table III reproduction: index memory size — SONG's degree-16 fixed-degree
+// graph vs the Faiss-IVFPQ inverted index, per dataset. The paper's point:
+// the graph index is a few times larger but comfortably fits GPU memory.
+//
+// At this repo's 8k-12k-point scale the IVFPQ's fixed overheads (coarse
+// centroids + PQ codebooks) dominate its size, so the honest comparison is
+// bytes per point, plus a projection of both indexes to the paper's dataset
+// sizes where the per-point cost dominates.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+
+using song::bench::BenchContext;
+using song::bench::BenchEnv;
+using song::bench::PrintHeader;
+
+namespace {
+
+struct PaperScale {
+  const char* preset;
+  size_t paper_n;
+};
+
+constexpr PaperScale kPaperScale[] = {
+    {"sift", 1000000},
+    {"glove200", 1183514},
+    {"nytimes", 289761},
+    {"gist", 1000000},
+    {"uq_v", 3295525},
+};
+
+}  // namespace
+
+int main() {
+  const BenchEnv env = BenchEnv::FromEnv();
+  PrintHeader("Table III: index memory size");
+  std::printf("%-10s | %11s %11s | %9s %9s | %13s %13s %6s\n", "dataset",
+              "SONG", "Faiss", "SONG B/pt", "Faiss B/pt", "SONG@paper-n",
+              "Faiss@paper-n", "ratio");
+  for (const PaperScale& row : kPaperScale) {
+    BenchContext ctx(row.preset, env);
+    const double n = static_cast<double>(ctx.workload().data.num());
+    const double song_bytes = static_cast<double>(ctx.graph().MemoryBytes());
+    const double faiss_bytes =
+        static_cast<double>(ctx.ivfpq().MemoryBytes());
+    const double song_per_pt = song_bytes / n;
+    // Per-point cost excludes the fixed centroid/codebook overhead, which
+    // is what survives at paper scale.
+    const double faiss_per_pt =
+        static_cast<double>(ctx.ivfpq().pq_m() + sizeof(song::idx_t));
+    const double mb = 1024.0 * 1024.0;
+    const double song_paper = song_per_pt * row.paper_n / mb;
+    const double faiss_paper = faiss_per_pt * row.paper_n / mb;
+    std::printf("%-10s | %8.2f MB %8.2f MB | %9.1f %9.1f | %10.1f MB "
+                "%10.1f MB %6.2f\n",
+                row.preset, song_bytes / mb, faiss_bytes / mb, song_per_pt,
+                faiss_per_pt, song_paper, faiss_paper,
+                song_paper / faiss_paper);
+  }
+  std::printf(
+      "\nPaper (full scale): SONG 36-403 MB vs Faiss 10-106 MB (~3-4x).\n"
+      "This repro's PQ spends 32 B/code (vs the paper's ~8-16) to stay\n"
+      "competitive on synthetic Gaussian data, so the projected ratio is\n"
+      "~1.8x; with the paper's 8-16-byte codes the per-point arithmetic\n"
+      "(64 B graph vs 12-20 B codes) gives exactly the paper's 3-5x.\n");
+  return 0;
+}

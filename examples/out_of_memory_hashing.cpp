@@ -1,0 +1,63 @@
+// Out-of-GPU-memory datasets via 1-bit random projections (paper §VII).
+// An MNIST8m-like dataset (near-duplicate deformation families) is hashed
+// to 32..512-bit codes; the proximity graph stays float-built on the host,
+// while the "device" only needs the packed codes. Shows the size reduction
+// (Table IV) and the recall/bits trade-off (Fig 14).
+//
+// Run: ./build/examples/example_out_of_memory_hashing
+
+#include <cstdio>
+
+#include "baselines/flat_index.h"
+#include "core/recall.h"
+#include "data/synthetic.h"
+#include "graph/nsw_builder.h"
+#include "hashing/hashed_index.h"
+#include "hashing/random_projection.h"
+
+int main() {
+  using namespace song;
+
+  SyntheticSpec spec = PresetSpec("mnist", 0.4);
+  spec.num_queries = 200;
+  SyntheticData gen = GenerateSynthetic(spec);
+  std::printf("dataset: %zu x %zu floats = %.1f MB\n", gen.points.num(),
+              gen.points.dim(),
+              gen.points.PayloadBytes() / (1024.0 * 1024.0));
+
+  // Host-side: graph built once on the original floats.
+  const FixedDegreeGraph graph =
+      NswBuilder::Build(gen.points, Metric::kL2, {});
+  std::printf("graph index: %.1f MB (always fits: degree x n x 4 bytes)\n",
+              graph.MemoryBytes() / (1024.0 * 1024.0));
+
+  FlatIndex flat(&gen.points, Metric::kL2);
+  const auto truth = FlatIndex::Ids(flat.BatchSearch(gen.queries, 10));
+
+  std::printf("\n%8s %12s %10s %10s %12s\n", "bits", "codes (MB)",
+              "vs float", "recall@1", "recall@10");
+  for (const size_t bits : {32, 64, 128, 256, 512}) {
+    RandomProjection proj(gen.points.dim(), bits, ProjectionKind::kNormal);
+    const BinaryCodes codes = proj.EncodeDataset(gen.points);
+    HashedSongIndex index(&codes, &graph, &proj);
+
+    SongSearchOptions options = SongSearchOptions::HashTableSelDel();
+    options.queue_size = 256;
+    SongWorkspace ws;
+    std::vector<std::vector<idx_t>> results(gen.queries.num());
+    for (size_t q = 0; q < gen.queries.num(); ++q) {
+      const auto found = index.Search(
+          gen.queries.Row(static_cast<idx_t>(q)), 10, options, &ws);
+      for (const Neighbor& n : found) results[q].push_back(n.id);
+    }
+    const double mb = codes.PayloadBytes() / (1024.0 * 1024.0);
+    std::printf("%8zu %12.2f %9.0fx %10.3f %12.3f\n", bits, mb,
+                gen.points.PayloadBytes() / (double)codes.PayloadBytes(),
+                MeanRecallAtK(results, truth, 1),
+                MeanRecallAtK(results, truth, 10));
+  }
+  std::printf(
+      "\n128-bit codes shrink a 784-dim float dataset ~196x (paper: 24 GB\n"
+      "-> 124 MB) while keeping the neighborhood structure searchable.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Semantic (embedding) search on skewed, clustered data — the GloVe/NYTimes
+// regime the paper calls "difficult". Shows (a) cosine-style matching via
+// normalized vectors, (b) why the visited-structure choice matters exactly
+// here: large queue sizes are needed for high recall, so the §IV-D/E
+// optimizations decide whether the visited set stays in fast memory.
+//
+// Run: ./build/examples/example_semantic_search
+
+#include <cstdio>
+
+#include "baselines/flat_index.h"
+#include "core/recall.h"
+#include "data/synthetic.h"
+#include "gpusim/simulator.h"
+#include "graph/nsw_builder.h"
+#include "song/song_searcher.h"
+
+int main() {
+  using namespace song;
+
+  // GloVe-like word embeddings: 200 dims, heavy cluster skew, normalized.
+  SyntheticSpec spec = PresetSpec("glove200", 0.4);
+  spec.num_queries = 300;
+  SyntheticData gen = GenerateSynthetic(spec);
+  std::printf("embeddings: %zu x %zu (normalized: cosine == L2 ordering)\n",
+              gen.points.num(), gen.points.dim());
+
+  const FixedDegreeGraph graph =
+      NswBuilder::Build(gen.points, Metric::kL2, {});
+  SongSearcher searcher(&gen.points, &graph, Metric::kL2);
+  FlatIndex flat(&gen.points, Metric::kL2);
+  const auto truth = FlatIndex::Ids(flat.BatchSearch(gen.queries, 10));
+
+  struct Config {
+    const char* name;
+    SongSearchOptions options;
+  };
+  const Config configs[] = {
+      {"hashtable (basic)", SongSearchOptions::HashTable()},
+      {"hashtable+sel", SongSearchOptions::HashTableSel()},
+      {"hashtable+sel+del", SongSearchOptions::HashTableSelDel()},
+      {"bloom filter", SongSearchOptions::Bloom()},
+      {"cuckoo filter", SongSearchOptions::Cuckoo()},
+  };
+
+  std::printf("\nqueue=512 (high-recall regime on skewed data):\n");
+  std::printf("%-20s %10s %12s %14s %10s %8s\n", "visited structure",
+              "recall@10", "sim QPS", "visited bytes", "peak live",
+              "memory");
+  for (const Config& config : configs) {
+    SongSearchOptions options = config.options;
+    options.queue_size = 512;
+    const SimulatedRun run = SimulateBatch(searcher, gen.queries, 10,
+                                           options, GpuSpec::V100());
+    const double recall = MeanRecallAtK(run.batch.Ids(), truth, 10);
+    std::printf("%-20s %10.3f %12.0f %14zu %10zu %8s\n", config.name, recall,
+                run.SimQps(), run.batch.stats.visited_capacity_bytes,
+                run.batch.stats.peak_visited_size,
+                run.gpu.visited_in_shared ? "shared" : "GLOBAL");
+  }
+
+  std::printf(
+      "\nTakeaway (paper Fig 7): on skewed data the un-deleted hash table\n"
+      "outgrows fast memory while sel+del stays bounded at 2*queue entries\n"
+      "and the probabilistic filters stay constant-size.\n");
+  return 0;
+}

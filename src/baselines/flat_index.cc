@@ -1,0 +1,55 @@
+#include "baselines/flat_index.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/thread_pool.h"
+
+namespace song {
+
+FlatIndex::FlatIndex(const Dataset* data, Metric metric)
+    : data_(data), metric_(metric) {
+  SONG_CHECK(data != nullptr);
+}
+
+std::vector<Neighbor> FlatIndex::Search(const float* query, size_t k) const {
+  const DistanceFunc dist = GetDistanceFunc(metric_);
+  const size_t dim = data_->dim();
+  std::priority_queue<Neighbor> heap;  // max-heap of the k best
+  for (size_t i = 0; i < data_->num(); ++i) {
+    const float d = dist(query, data_->Row(static_cast<idx_t>(i)), dim);
+    if (heap.size() < k) {
+      heap.emplace(d, static_cast<idx_t>(i));
+    } else if (Neighbor(d, static_cast<idx_t>(i)) < heap.top()) {
+      heap.pop();
+      heap.emplace(d, static_cast<idx_t>(i));
+    }
+  }
+  std::vector<Neighbor> out(heap.size());
+  for (size_t i = heap.size(); i-- > 0;) {
+    out[i] = heap.top();
+    heap.pop();
+  }
+  return out;
+}
+
+std::vector<std::vector<Neighbor>> FlatIndex::BatchSearch(
+    const Dataset& queries, size_t k, size_t num_threads) const {
+  std::vector<std::vector<Neighbor>> results(queries.num());
+  ParallelFor(queries.num(), num_threads, [&](size_t q, size_t) {
+    results[q] = Search(queries.Row(static_cast<idx_t>(q)), k);
+  });
+  return results;
+}
+
+std::vector<std::vector<idx_t>> FlatIndex::Ids(
+    const std::vector<std::vector<Neighbor>>& results) {
+  std::vector<std::vector<idx_t>> ids(results.size());
+  for (size_t q = 0; q < results.size(); ++q) {
+    ids[q].reserve(results[q].size());
+    for (const Neighbor& n : results[q]) ids[q].push_back(n.id);
+  }
+  return ids;
+}
+
+}  // namespace song

@@ -1,0 +1,42 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// Exact brute-force index. Serves two roles: ground truth for recall
+// evaluation, and the "no index" reference point.
+
+#ifndef SONG_BASELINES_FLAT_INDEX_H_
+#define SONG_BASELINES_FLAT_INDEX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/distance.h"
+#include "core/types.h"
+
+namespace song {
+
+class FlatIndex {
+ public:
+  /// `data` must outlive the index.
+  FlatIndex(const Dataset* data, Metric metric);
+
+  /// Exact top-k for one query, ascending by distance.
+  std::vector<Neighbor> Search(const float* query, size_t k) const;
+
+  /// Exact top-k for a batch, parallelized over queries.
+  std::vector<std::vector<Neighbor>> BatchSearch(const Dataset& queries,
+                                                 size_t k,
+                                                 size_t num_threads = 0) const;
+
+  /// Id-only convenience used by recall evaluation.
+  static std::vector<std::vector<idx_t>> Ids(
+      const std::vector<std::vector<Neighbor>>& results);
+
+ private:
+  const Dataset* data_;
+  Metric metric_;
+};
+
+}  // namespace song
+
+#endif  // SONG_BASELINES_FLAT_INDEX_H_

@@ -1,0 +1,412 @@
+#include "baselines/hnsw.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <queue>
+
+#include "core/random.h"
+#include "core/thread_pool.h"
+
+namespace song {
+
+namespace {
+
+// Neighbor-row helpers: rows are padded with kInvalidIdx.
+size_t RowCount(const idx_t* row, size_t capacity) {
+  size_t c = 0;
+  while (c < capacity && row[c] != kInvalidIdx) ++c;
+  return c;
+}
+
+void WriteRow(idx_t* row, size_t capacity, const std::vector<idx_t>& ids) {
+  std::fill(row, row + capacity, kInvalidIdx);
+  std::copy(ids.begin(), ids.end(), row);
+}
+
+}  // namespace
+
+Hnsw::Hnsw(const Dataset* data, Metric metric, const HnswBuildOptions& options)
+    : data_(data),
+      metric_(metric),
+      dist_(GetDistanceFunc(metric)),
+      m_(options.m),
+      level_mult_(1.0 / std::log(static_cast<double>(options.m))) {
+  SONG_CHECK(data != nullptr);
+  const size_t n = data_->num();
+  SONG_CHECK_MSG(n > 0, "cannot build HNSW over an empty dataset");
+  levels_.assign(n, 0);
+  layer0_.assign(n * RowCapacity(0), kInvalidIdx);
+  upper_.resize(n);
+
+  // Pre-draw levels sequentially for determinism regardless of threading.
+  uint64_t rng_state = options.seed;
+  for (size_t v = 0; v < n; ++v) {
+    levels_[v] = static_cast<uint32_t>(RandomLevel(&rng_state));
+    upper_[v].assign(levels_[v] * m_, kInvalidIdx);
+  }
+  // Vertex 0 seeds the structure at level 0; entry_/max_level_ are promoted
+  // under lock as deeper vertices are inserted.
+  levels_[0] = 0;
+  upper_[0].clear();
+  entry_ = 0;
+  max_level_ = 0;
+
+  std::unique_ptr<std::mutex[]> locks(std::make_unique<std::mutex[]>(n));
+  std::mutex global_lock;  // guards entry_ / max_level_ promotion
+  std::vector<std::atomic<bool>> inserted(n);
+  inserted[0].store(true, std::memory_order_release);
+
+  const size_t dim = data_->dim();
+  auto snapshot_row = [&](idx_t v, size_t level, std::vector<idx_t>* out) {
+    std::lock_guard<std::mutex> guard(locks[v]);
+    const idx_t* row = Row(v, level);
+    const size_t cap = RowCapacity(level);
+    out->clear();
+    for (size_t i = 0; i < cap && row[i] != kInvalidIdx; ++i) {
+      out->push_back(row[i]);
+    }
+  };
+
+  // Layer-restricted search against the in-flux graph.
+  auto build_search = [&](const float* q, std::vector<Neighbor> eps,
+                          size_t ef, size_t level,
+                          VisitedBuffer* visited) -> std::vector<Neighbor> {
+    visited->Resize(n);
+    visited->NextEpoch();
+    std::priority_queue<Neighbor, std::vector<Neighbor>, std::greater<>> cand;
+    std::priority_queue<Neighbor> top;
+    for (const Neighbor& ep : eps) {
+      if (visited->TestAndSet(ep.id)) continue;
+      cand.push(ep);
+      top.push(ep);
+      if (top.size() > ef) top.pop();
+    }
+    std::vector<idx_t> row;
+    while (!cand.empty()) {
+      const Neighbor now = cand.top();
+      cand.pop();
+      if (top.size() >= ef && now.dist > top.top().dist) break;
+      snapshot_row(now.id, level, &row);
+      for (const idx_t u : row) {
+        if (!inserted[u].load(std::memory_order_acquire)) continue;
+        if (visited->TestAndSet(u)) continue;
+        const float d = dist_(q, data_->Row(u), dim);
+        if (top.size() < ef || d < top.top().dist) {
+          cand.emplace(d, u);
+          top.emplace(d, u);
+          if (top.size() > ef) top.pop();
+        }
+      }
+    }
+    std::vector<Neighbor> out(top.size());
+    for (size_t i = top.size(); i-- > 0;) {
+      out[i] = top.top();
+      top.pop();
+    }
+    return out;
+  };
+
+  ParallelFor(n - 1, options.num_threads, [&](size_t job, size_t) {
+    thread_local VisitedBuffer visited;
+    const idx_t v = static_cast<idx_t>(job + 1);
+    const float* point = data_->Row(v);
+    const size_t level = levels_[v];
+
+    idx_t ep;
+    size_t top_level;
+    {
+      std::lock_guard<std::mutex> guard(global_lock);
+      ep = entry_;
+      top_level = max_level_;
+    }
+    Neighbor ep_n(dist_(point, data_->Row(ep), dim), ep);
+
+    // Greedy descent through layers above the new vertex's level.
+    for (size_t l = top_level; l > level && l > 0; --l) {
+      bool improved = true;
+      std::vector<idx_t> row;
+      while (improved) {
+        improved = false;
+        snapshot_row(ep_n.id, l, &row);
+        for (const idx_t u : row) {
+          if (!inserted[u].load(std::memory_order_acquire)) continue;
+          const float d = dist_(point, data_->Row(u), dim);
+          if (d < ep_n.dist) {
+            ep_n = Neighbor(d, u);
+            improved = true;
+          }
+        }
+      }
+    }
+
+    std::vector<Neighbor> eps{ep_n};
+    for (size_t l = std::min(level, top_level) + 1; l-- > 0;) {
+      std::vector<Neighbor> pool =
+          build_search(point, eps, options.ef_construction, l, &visited);
+      std::vector<idx_t> selected = SelectNeighborsHeuristic(v, pool, m_);
+      {
+        std::lock_guard<std::mutex> guard(locks[v]);
+        WriteRow(MutableRow(v, l), RowCapacity(l), selected);
+      }
+      // Reverse edges with occlusion-based shrink on overflow.
+      for (const idx_t u : selected) {
+        std::lock_guard<std::mutex> guard(locks[u]);
+        idx_t* row = MutableRow(u, l);
+        const size_t cap = RowCapacity(l);
+        const size_t count = RowCount(row, cap);
+        bool present = false;
+        for (size_t i = 0; i < count; ++i) present |= (row[i] == v);
+        if (present) continue;
+        if (count < cap) {
+          row[count] = v;
+          continue;
+        }
+        std::vector<Neighbor> shrink_pool;
+        shrink_pool.reserve(count + 1);
+        for (size_t i = 0; i < count; ++i) {
+          shrink_pool.emplace_back(
+              dist_(data_->Row(u), data_->Row(row[i]), dim), row[i]);
+        }
+        shrink_pool.emplace_back(dist_(data_->Row(u), data_->Row(v), dim), v);
+        const std::vector<idx_t> kept =
+            SelectNeighborsHeuristic(u, shrink_pool, cap);
+        WriteRow(row, cap, kept);
+      }
+      if (!pool.empty()) eps = std::move(pool);
+    }
+
+    inserted[v].store(true, std::memory_order_release);
+    if (level > 0) {
+      std::lock_guard<std::mutex> guard(global_lock);
+      if (level > max_level_) {
+        max_level_ = level;
+        entry_ = v;
+      }
+    }
+  });
+}
+
+size_t Hnsw::RandomLevel(uint64_t* state) const {
+  const uint64_t r = SplitMix64(*state);
+  double u = static_cast<double>(r >> 11) * 0x1.0p-53;
+  if (u <= 1e-12) u = 1e-12;
+  const double level = -std::log(u) * level_mult_;
+  return std::min<size_t>(static_cast<size_t>(level), 31);
+}
+
+const idx_t* Hnsw::Row(idx_t v, size_t level) const {
+  if (level == 0) return &layer0_[static_cast<size_t>(v) * RowCapacity(0)];
+  return &upper_[v][(level - 1) * m_];
+}
+
+idx_t* Hnsw::MutableRow(idx_t v, size_t level) {
+  if (level == 0) return &layer0_[static_cast<size_t>(v) * RowCapacity(0)];
+  return &upper_[v][(level - 1) * m_];
+}
+
+std::vector<idx_t> Hnsw::SelectNeighborsHeuristic(idx_t for_vertex,
+                                                  std::vector<Neighbor> pool,
+                                                  size_t m) const {
+  const size_t dim = data_->dim();
+  std::sort(pool.begin(), pool.end());
+  std::vector<idx_t> selected;
+  selected.reserve(m);
+  std::vector<Neighbor> discarded;
+  for (const Neighbor& cand : pool) {
+    if (selected.size() >= m) break;
+    if (cand.id == for_vertex) continue;
+    bool occluded = false;
+    for (const idx_t s : selected) {
+      if (s == cand.id) {
+        occluded = true;
+        break;
+      }
+      if (dist_(data_->Row(s), data_->Row(cand.id), dim) < cand.dist) {
+        occluded = true;
+        break;
+      }
+    }
+    if (occluded) {
+      discarded.push_back(cand);
+    } else {
+      selected.push_back(cand.id);
+    }
+  }
+  // keepPrunedConnections: fill remaining slots with the closest discards.
+  for (const Neighbor& d : discarded) {
+    if (selected.size() >= m) break;
+    if (std::find(selected.begin(), selected.end(), d.id) == selected.end()) {
+      selected.push_back(d.id);
+    }
+  }
+  return selected;
+}
+
+std::vector<Neighbor> Hnsw::SearchLayer(const float* query,
+                                        std::vector<Neighbor> entry_points,
+                                        size_t ef, size_t level,
+                                        VisitedBuffer* visited,
+                                        HnswSearchStats* stats) const {
+  const size_t dim = data_->dim();
+  visited->Resize(data_->num());
+  visited->NextEpoch();
+  std::priority_queue<Neighbor, std::vector<Neighbor>, std::greater<>> cand;
+  std::priority_queue<Neighbor> top;
+  for (const Neighbor& ep : entry_points) {
+    if (visited->TestAndSet(ep.id)) continue;
+    cand.push(ep);
+    top.push(ep);
+    if (top.size() > ef) top.pop();
+  }
+  const size_t cap = RowCapacity(level);
+  while (!cand.empty()) {
+    const Neighbor now = cand.top();
+    cand.pop();
+    if (top.size() >= ef && now.dist > top.top().dist) break;
+    if (stats != nullptr) ++stats->hops;
+    const idx_t* row = Row(now.id, level);
+    for (size_t i = 0; i < cap && row[i] != kInvalidIdx; ++i) {
+      const idx_t u = row[i];
+      if (visited->TestAndSet(u)) continue;
+      const float d = dist_(query, data_->Row(u), dim);
+      if (stats != nullptr) ++stats->distance_computations;
+      if (top.size() < ef || d < top.top().dist) {
+        cand.emplace(d, u);
+        top.emplace(d, u);
+        if (top.size() > ef) top.pop();
+      }
+    }
+  }
+  std::vector<Neighbor> out(top.size());
+  for (size_t i = top.size(); i-- > 0;) {
+    out[i] = top.top();
+    top.pop();
+  }
+  return out;
+}
+
+std::vector<Neighbor> Hnsw::Search(const float* query, size_t k, size_t ef,
+                                   HnswSearchStats* stats) const {
+  thread_local VisitedBuffer visited;
+  const size_t dim = data_->dim();
+  Neighbor ep(dist_(query, data_->Row(entry_), dim), entry_);
+  if (stats != nullptr) ++stats->distance_computations;
+  for (size_t l = max_level_; l > 0; --l) {
+    bool improved = true;
+    const size_t cap = RowCapacity(l);
+    while (improved) {
+      improved = false;
+      const idx_t* row = Row(ep.id, l);
+      for (size_t i = 0; i < cap && row[i] != kInvalidIdx; ++i) {
+        const float d = dist_(query, data_->Row(row[i]), dim);
+        if (stats != nullptr) ++stats->distance_computations;
+        if (d < ep.dist) {
+          ep = Neighbor(d, row[i]);
+          improved = true;
+        }
+      }
+    }
+  }
+  std::vector<Neighbor> result =
+      SearchLayer(query, {ep}, std::max(ef, k), 0, &visited, stats);
+  if (result.size() > k) result.resize(k);
+  return result;
+}
+
+FixedDegreeGraph Hnsw::ExportBaseLayer() const {
+  const size_t n = data_->num();
+  const size_t cap = RowCapacity(0);
+  FixedDegreeGraph g(n, cap);
+  std::vector<idx_t> row;
+  for (size_t v = 0; v < n; ++v) {
+    const idx_t* r = Row(static_cast<idx_t>(v), 0);
+    row.clear();
+    for (size_t i = 0; i < cap && r[i] != kInvalidIdx; ++i) row.push_back(r[i]);
+    g.SetNeighbors(static_cast<idx_t>(v), row);
+  }
+  return g;
+}
+
+namespace {
+constexpr char kHnswMagic[4] = {'S', 'N', 'G', 'H'};
+}  // namespace
+
+Status Hnsw::Save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  const uint32_t m32 = static_cast<uint32_t>(m_);
+  const uint32_t level32 = static_cast<uint32_t>(max_level_);
+  const uint32_t entry32 = entry_;
+  const uint64_t n64 = levels_.size();
+  bool ok = std::fwrite(kHnswMagic, 1, 4, f) == 4 &&
+            std::fwrite(&m32, 4, 1, f) == 1 &&
+            std::fwrite(&level32, 4, 1, f) == 1 &&
+            std::fwrite(&entry32, 4, 1, f) == 1 &&
+            std::fwrite(&n64, 8, 1, f) == 1;
+  ok = ok && std::fwrite(levels_.data(), sizeof(uint32_t), levels_.size(),
+                         f) == levels_.size();
+  ok = ok && std::fwrite(layer0_.data(), sizeof(idx_t), layer0_.size(), f) ==
+                 layer0_.size();
+  for (size_t v = 0; ok && v < levels_.size(); ++v) {
+    if (!upper_[v].empty()) {
+      ok = std::fwrite(upper_[v].data(), sizeof(idx_t), upper_[v].size(),
+                       f) == upper_[v].size();
+    }
+  }
+  std::fclose(f);
+  return ok ? Status::OK() : Status::IOError("short write " + path);
+}
+
+StatusOr<Hnsw> Hnsw::Load(const std::string& path, const Dataset* data,
+                          Metric metric) {
+  SONG_CHECK(data != nullptr);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  char magic[4];
+  uint32_t m32 = 0, level32 = 0, entry32 = 0;
+  uint64_t n64 = 0;
+  bool ok = std::fread(magic, 1, 4, f) == 4 &&
+            std::memcmp(magic, kHnswMagic, 4) == 0 &&
+            std::fread(&m32, 4, 1, f) == 1 &&
+            std::fread(&level32, 4, 1, f) == 1 &&
+            std::fread(&entry32, 4, 1, f) == 1 &&
+            std::fread(&n64, 8, 1, f) == 1;
+  if (!ok || m32 == 0 || n64 != data->num()) {
+    std::fclose(f);
+    return Status::IOError("bad/stale HNSW index: " + path);
+  }
+  Hnsw index(LoadTag{}, data, metric, m32);
+  index.level_mult_ = 1.0 / std::log(static_cast<double>(m32));
+  index.max_level_ = level32;
+  index.entry_ = entry32;
+  index.levels_.resize(n64);
+  index.layer0_.resize(n64 * 2 * m32);
+  ok = std::fread(index.levels_.data(), sizeof(uint32_t), n64, f) == n64;
+  ok = ok && std::fread(index.layer0_.data(), sizeof(idx_t),
+                        index.layer0_.size(), f) == index.layer0_.size();
+  index.upper_.resize(n64);
+  for (size_t v = 0; ok && v < n64; ++v) {
+    index.upper_[v].resize(static_cast<size_t>(index.levels_[v]) * m32);
+    if (!index.upper_[v].empty()) {
+      ok = std::fread(index.upper_[v].data(), sizeof(idx_t),
+                      index.upper_[v].size(), f) == index.upper_[v].size();
+    }
+  }
+  std::fclose(f);
+  if (!ok) return Status::IOError("short read " + path);
+  return index;
+}
+
+size_t Hnsw::MemoryBytes() const {
+  size_t bytes = layer0_.size() * sizeof(idx_t) +
+                 levels_.size() * sizeof(uint32_t);
+  for (const auto& u : upper_) bytes += u.size() * sizeof(idx_t);
+  return bytes;
+}
+
+}  // namespace song

@@ -1,0 +1,266 @@
+#include "baselines/ivfpq.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <mutex>
+#include <queue>
+
+#include "baselines/kmeans.h"
+#include "core/thread_pool.h"
+
+namespace song {
+
+IvfPqIndex::IvfPqIndex(const Dataset* data, Metric metric,
+                       const IvfPqOptions& options)
+    : data_(data), metric_(metric), options_(options) {
+  SONG_CHECK(data != nullptr);
+  SONG_CHECK_MSG(metric != Metric::kCosine,
+                 "IVFPQ: normalize rows and use kInnerProduct for cosine");
+  const size_t n = data_->num();
+  const size_t dim = data_->dim();
+  options_.nlist = std::min(options_.nlist, n);
+
+  // Coarse quantizer, trained on a sample (Faiss-style: ~40 points per
+  // centroid suffice) then applied to the full set.
+  KMeansOptions km;
+  km.num_clusters = options_.nlist;
+  km.max_iterations = options_.train_iterations;
+  km.seed = options_.seed;
+  km.num_threads = options_.num_threads;
+  const size_t train_n = std::min(n, options_.nlist * 40);
+  KMeansResult coarse;
+  if (train_n < n) {
+    Dataset sample(train_n, dim);
+    const size_t stride = n / train_n;
+    for (size_t i = 0; i < train_n; ++i) {
+      sample.SetRow(static_cast<idx_t>(i),
+                    data_->Row(static_cast<idx_t>(i * stride)));
+    }
+    coarse = RunKMeans(sample, km);
+    coarse.assignments =
+        AssignToCentroids(*data_, coarse.centroids, options_.num_threads);
+  } else {
+    coarse = RunKMeans(*data_, km);
+  }
+  coarse_centroids_ = std::move(coarse.centroids);
+  options_.nlist = coarse_centroids_.num();
+
+  const bool residual = options_.by_residual && metric_ == Metric::kL2;
+
+  // PQ training set: residuals (or raw vectors).
+  Dataset train(n, dim);
+  std::vector<float> tmp(dim);
+  for (size_t i = 0; i < n; ++i) {
+    const float* row = data_->Row(static_cast<idx_t>(i));
+    if (residual) {
+      const float* c = coarse_centroids_.Row(coarse.assignments[i]);
+      for (size_t d = 0; d < dim; ++d) tmp[d] = row[d] - c[d];
+      train.SetRow(static_cast<idx_t>(i), tmp.data());
+    } else {
+      train.SetRow(static_cast<idx_t>(i), row);
+    }
+  }
+  PqOptions pq_opts;
+  pq_opts.num_subquantizers = options_.pq_m;
+  pq_opts.train_iterations = options_.train_iterations;
+  pq_opts.seed = options_.seed + 17;
+  pq_opts.num_threads = options_.num_threads;
+  pq_.Train(train, pq_opts);
+
+  // Encode into inverted lists.
+  list_ids_.assign(options_.nlist, {});
+  list_codes_.assign(options_.nlist, {});
+  const size_t code_bytes = pq_.code_bytes();
+  std::vector<uint8_t> code(code_bytes);
+  for (size_t i = 0; i < n; ++i) {
+    const idx_t list = coarse.assignments[i];
+    pq_.Encode(train.Row(static_cast<idx_t>(i)), code.data());
+    list_ids_[list].push_back(static_cast<idx_t>(i));
+    list_codes_[list].insert(list_codes_[list].end(), code.begin(),
+                             code.end());
+  }
+}
+
+std::vector<Neighbor> IvfPqIndex::Search(const float* query, size_t k,
+                                         size_t nprobe,
+                                         IvfPqSearchStats* stats) const {
+  const size_t dim = data_->dim();
+  nprobe = std::max<size_t>(1, std::min(nprobe, options_.nlist));
+  IvfPqSearchStats local;
+  local.queries = 1;
+  local.coarse_distances = options_.nlist;
+  const bool residual = options_.by_residual && metric_ == Metric::kL2;
+
+  // Rank coarse lists.
+  std::vector<Neighbor> lists(options_.nlist);
+  for (size_t c = 0; c < options_.nlist; ++c) {
+    const float d = ComputeDistance(
+        metric_, query, coarse_centroids_.Row(static_cast<idx_t>(c)), dim);
+    lists[c] = Neighbor(d, static_cast<idx_t>(c));
+  }
+  std::partial_sort(lists.begin(), lists.begin() + nprobe, lists.end());
+
+  const size_t code_bytes = pq_.code_bytes();
+  std::vector<float> table(code_bytes * ProductQuantizer::kCodebookSize);
+  std::vector<float> shifted(dim);
+  std::priority_queue<Neighbor> heap;
+
+  for (size_t p = 0; p < nprobe; ++p) {
+    const idx_t list = lists[p].id;
+    const float* table_query = query;
+    float list_bias = 0.0f;
+    if (residual) {
+      // d(q, c + r) decomposes as ADC on (q - c) against residual codes.
+      const float* centroid = coarse_centroids_.Row(list);
+      for (size_t d = 0; d < dim; ++d) shifted[d] = query[d] - centroid[d];
+      table_query = shifted.data();
+    }
+    pq_.ComputeAdcTable(table_query, metric_, table.data());
+    ++local.lists_probed;
+    local.table_entries += code_bytes * ProductQuantizer::kCodebookSize;
+    if (!residual && metric_ == Metric::kInnerProduct) {
+      list_bias = 0.0f;  // raw IP codes need no bias
+    }
+    const auto& ids = list_ids_[list];
+    local.codes_scanned += ids.size();
+    const auto& codes = list_codes_[list];
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const float d =
+          pq_.AdcDistance(table.data(), codes.data() + i * code_bytes) +
+          list_bias;
+      const Neighbor cand(d, ids[i]);
+      if (heap.size() < k) {
+        heap.push(cand);
+      } else if (cand < heap.top()) {
+        heap.pop();
+        heap.push(cand);
+      }
+    }
+  }
+
+  std::vector<Neighbor> out(heap.size());
+  for (size_t i = heap.size(); i-- > 0;) {
+    out[i] = heap.top();
+    heap.pop();
+  }
+  if (stats != nullptr) stats->Add(local);
+  return out;
+}
+
+std::vector<std::vector<Neighbor>> IvfPqIndex::BatchSearch(
+    const Dataset& queries, size_t k, size_t nprobe, size_t num_threads,
+    IvfPqSearchStats* stats) const {
+  std::vector<std::vector<Neighbor>> results(queries.num());
+  std::mutex stats_mu;
+  ParallelFor(queries.num(), num_threads, [&](size_t q, size_t) {
+    IvfPqSearchStats local;
+    results[q] = Search(queries.Row(static_cast<idx_t>(q)), k, nprobe,
+                        stats != nullptr ? &local : nullptr);
+    if (stats != nullptr) {
+      std::lock_guard<std::mutex> guard(stats_mu);
+      stats->Add(local);
+    }
+  });
+  return results;
+}
+
+namespace {
+constexpr char kIvfMagic[4] = {'S', 'N', 'G', 'Q'};
+}  // namespace
+
+Status IvfPqIndex::Save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  const uint64_t n64 = data_->num();
+  const uint64_t nlist64 = options_.nlist;
+  const uint64_t pqm64 = options_.pq_m;
+  const uint8_t residual = options_.by_residual ? 1 : 0;
+  const uint64_t cdim = coarse_centroids_.dim();
+  bool ok = std::fwrite(kIvfMagic, 1, 4, f) == 4 &&
+            std::fwrite(&n64, 8, 1, f) == 1 &&
+            std::fwrite(&nlist64, 8, 1, f) == 1 &&
+            std::fwrite(&pqm64, 8, 1, f) == 1 &&
+            std::fwrite(&residual, 1, 1, f) == 1 &&
+            std::fwrite(&cdim, 8, 1, f) == 1;
+  for (size_t c = 0; ok && c < coarse_centroids_.num(); ++c) {
+    ok = std::fwrite(coarse_centroids_.Row(static_cast<idx_t>(c)),
+                     sizeof(float), cdim, f) == cdim;
+  }
+  if (ok) ok = pq_.SaveTo(f).ok();
+  for (size_t l = 0; ok && l < list_ids_.size(); ++l) {
+    const uint64_t sz = list_ids_[l].size();
+    ok = std::fwrite(&sz, 8, 1, f) == 1;
+    ok = ok && (sz == 0 || std::fwrite(list_ids_[l].data(), sizeof(idx_t),
+                                       sz, f) == sz);
+    const uint64_t cb = list_codes_[l].size();
+    ok = ok && std::fwrite(&cb, 8, 1, f) == 1;
+    ok = ok && (cb == 0 ||
+                std::fwrite(list_codes_[l].data(), 1, cb, f) == cb);
+  }
+  std::fclose(f);
+  return ok ? Status::OK() : Status::IOError("short write " + path);
+}
+
+StatusOr<IvfPqIndex> IvfPqIndex::Load(const std::string& path,
+                                      const Dataset* data, Metric metric) {
+  SONG_CHECK(data != nullptr);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  char magic[4];
+  uint64_t n64 = 0, nlist64 = 0, pqm64 = 0, cdim = 0;
+  uint8_t residual = 0;
+  bool ok = std::fread(magic, 1, 4, f) == 4 &&
+            std::memcmp(magic, kIvfMagic, 4) == 0 &&
+            std::fread(&n64, 8, 1, f) == 1 &&
+            std::fread(&nlist64, 8, 1, f) == 1 &&
+            std::fread(&pqm64, 8, 1, f) == 1 &&
+            std::fread(&residual, 1, 1, f) == 1 &&
+            std::fread(&cdim, 8, 1, f) == 1;
+  if (!ok || n64 != data->num() || cdim != data->dim() || nlist64 == 0) {
+    std::fclose(f);
+    return Status::IOError("bad/stale IVFPQ index: " + path);
+  }
+  IvfPqIndex index(LoadTag{}, data, metric);
+  index.options_.nlist = static_cast<size_t>(nlist64);
+  index.options_.pq_m = static_cast<size_t>(pqm64);
+  index.options_.by_residual = residual != 0;
+  index.coarse_centroids_ = Dataset(nlist64, cdim);
+  std::vector<float> row(cdim);
+  for (size_t c = 0; ok && c < nlist64; ++c) {
+    ok = std::fread(row.data(), sizeof(float), cdim, f) == cdim;
+    if (ok) index.coarse_centroids_.SetRow(static_cast<idx_t>(c), row.data());
+  }
+  if (ok) ok = index.pq_.LoadFrom(f).ok();
+  index.list_ids_.resize(nlist64);
+  index.list_codes_.resize(nlist64);
+  for (size_t l = 0; ok && l < nlist64; ++l) {
+    uint64_t sz = 0, cb = 0;
+    ok = std::fread(&sz, 8, 1, f) == 1;
+    if (ok) {
+      index.list_ids_[l].resize(sz);
+      ok = sz == 0 || std::fread(index.list_ids_[l].data(), sizeof(idx_t),
+                                 sz, f) == sz;
+    }
+    ok = ok && std::fread(&cb, 8, 1, f) == 1;
+    if (ok) {
+      index.list_codes_[l].resize(cb);
+      ok = cb == 0 ||
+           std::fread(index.list_codes_[l].data(), 1, cb, f) == cb;
+    }
+  }
+  std::fclose(f);
+  if (!ok) return Status::IOError("short read " + path);
+  return index;
+}
+
+size_t IvfPqIndex::MemoryBytes() const {
+  size_t bytes = coarse_centroids_.PayloadBytes() + pq_.MemoryBytes();
+  for (size_t l = 0; l < list_ids_.size(); ++l) {
+    bytes += list_ids_[l].size() * sizeof(idx_t) + list_codes_[l].size();
+  }
+  return bytes;
+}
+
+}  // namespace song

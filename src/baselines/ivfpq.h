@@ -1,0 +1,107 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// IVFPQ index — the Faiss-style quantization baseline the paper compares
+// against ("Faiss-IVFPQ"). A coarse k-means quantizer partitions the data
+// into nlist inverted lists; residuals are product-quantized to m bytes.
+// A query scans the nprobe nearest lists with ADC lookup tables. nprobe is
+// the recall/throughput knob swept in Fig 5; the quantization error is what
+// caps its reachable recall (the N/A cells of Table II).
+
+#ifndef SONG_BASELINES_IVFPQ_H_
+#define SONG_BASELINES_IVFPQ_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "baselines/pq.h"
+#include "core/dataset.h"
+#include "core/distance.h"
+#include "core/types.h"
+
+namespace song {
+
+struct IvfPqOptions {
+  /// Number of coarse clusters (inverted lists).
+  size_t nlist = 256;
+  /// Bytes per PQ code.
+  size_t pq_m = 8;
+  /// Encode residuals (vector - coarse centroid) rather than raw vectors.
+  /// Only meaningful for L2.
+  bool by_residual = true;
+  size_t train_iterations = 12;
+  uint64_t seed = 1234;
+  size_t num_threads = 0;
+};
+
+/// Work counters for the GPU cost model (gpusim/faiss_model.h).
+struct IvfPqSearchStats {
+  size_t queries = 0;
+  size_t lists_probed = 0;
+  size_t codes_scanned = 0;
+  /// ADC table entries computed (lists_probed * m * 256).
+  size_t table_entries = 0;
+  /// Coarse-quantizer distances (queries * nlist).
+  size_t coarse_distances = 0;
+
+  void Add(const IvfPqSearchStats& other) {
+    queries += other.queries;
+    lists_probed += other.lists_probed;
+    codes_scanned += other.codes_scanned;
+    table_entries += other.table_entries;
+    coarse_distances += other.coarse_distances;
+  }
+};
+
+class IvfPqIndex {
+ public:
+  /// Builds the index over `data` (must outlive the object). Supported
+  /// metrics: kL2 and kInnerProduct (kCosine: normalize + kInnerProduct).
+  IvfPqIndex(const Dataset* data, Metric metric,
+             const IvfPqOptions& options = {});
+
+  /// ADC top-k search probing the `nprobe` nearest lists.
+  std::vector<Neighbor> Search(const float* query, size_t k, size_t nprobe,
+                               IvfPqSearchStats* stats = nullptr) const;
+
+  std::vector<std::vector<Neighbor>> BatchSearch(
+      const Dataset& queries, size_t k, size_t nprobe,
+      size_t num_threads = 0, IvfPqSearchStats* stats = nullptr) const;
+
+  size_t pq_m() const { return pq_.code_bytes(); }
+
+  /// Serialization (magic "SNGQ"): coarse centroids, codebooks and inverted
+  /// lists. `data` must be the dataset the index was built over.
+  Status Save(const std::string& path) const;
+  static StatusOr<IvfPqIndex> Load(const std::string& path,
+                                   const Dataset* data, Metric metric);
+
+  size_t nlist() const { return options_.nlist; }
+
+  /// Index memory: coarse centroids + codes + ids + codebooks (Table III).
+  size_t MemoryBytes() const;
+
+  /// Total scanned codes for the last Search call is intentionally not
+  /// tracked (const API); use ExpectedScan for cost estimates.
+  double ExpectedScanFraction(size_t nprobe) const {
+    return static_cast<double>(std::min(nprobe, options_.nlist)) /
+           static_cast<double>(options_.nlist);
+  }
+
+ private:
+  struct LoadTag {};
+  IvfPqIndex(LoadTag, const Dataset* data, Metric metric)
+      : data_(data), metric_(metric) {}
+
+  const Dataset* data_;
+  Metric metric_;
+  IvfPqOptions options_;
+  ProductQuantizer pq_;
+  Dataset coarse_centroids_;
+  /// Per-list point ids and m-byte codes (parallel arrays).
+  std::vector<std::vector<idx_t>> list_ids_;
+  std::vector<std::vector<uint8_t>> list_codes_;
+};
+
+}  // namespace song
+
+#endif  // SONG_BASELINES_IVFPQ_H_

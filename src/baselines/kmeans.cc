@@ -1,0 +1,128 @@
+#include "baselines/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/distance.h"
+#include "core/random.h"
+#include "core/thread_pool.h"
+
+namespace song {
+
+namespace {
+
+// k-means++ seeding: each next seed is drawn proportionally to squared
+// distance from the nearest already-chosen seed.
+Dataset SeedCentroids(const Dataset& data, size_t k, uint64_t seed) {
+  const size_t n = data.num();
+  const size_t dim = data.dim();
+  RandomEngine rng(seed);
+  Dataset centroids(k, dim);
+
+  std::vector<float> best_d2(n, std::numeric_limits<float>::max());
+  idx_t first = static_cast<idx_t>(rng.NextUint(n));
+  centroids.SetRow(0, data.Row(first));
+  for (size_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    const float* prev = centroids.Row(static_cast<idx_t>(c - 1));
+    for (size_t i = 0; i < n; ++i) {
+      const float d2 = L2Sqr(prev, data.Row(static_cast<idx_t>(i)), dim);
+      best_d2[i] = std::min(best_d2[i], d2);
+      total += best_d2[i];
+    }
+    idx_t chosen = static_cast<idx_t>(rng.NextUint(n));
+    if (total > 0.0) {
+      double target = rng.NextUniform() * total;
+      for (size_t i = 0; i < n; ++i) {
+        target -= best_d2[i];
+        if (target <= 0.0) {
+          chosen = static_cast<idx_t>(i);
+          break;
+        }
+      }
+    }
+    centroids.SetRow(static_cast<idx_t>(c), data.Row(chosen));
+  }
+  return centroids;
+}
+
+}  // namespace
+
+std::vector<idx_t> AssignToCentroids(const Dataset& points,
+                                     const Dataset& centroids,
+                                     size_t num_threads) {
+  const size_t dim = points.dim();
+  std::vector<idx_t> assignments(points.num());
+  ParallelFor(points.num(), num_threads, [&](size_t i, size_t) {
+    const float* p = points.Row(static_cast<idx_t>(i));
+    float best = std::numeric_limits<float>::max();
+    idx_t best_c = 0;
+    for (size_t c = 0; c < centroids.num(); ++c) {
+      const float d = L2Sqr(p, centroids.Row(static_cast<idx_t>(c)), dim);
+      if (d < best) {
+        best = d;
+        best_c = static_cast<idx_t>(c);
+      }
+    }
+    assignments[i] = best_c;
+  });
+  return assignments;
+}
+
+KMeansResult RunKMeans(const Dataset& data, const KMeansOptions& options) {
+  const size_t n = data.num();
+  const size_t dim = data.dim();
+  const size_t k = std::min(options.num_clusters, n);
+  SONG_CHECK_MSG(k > 0, "k-means needs at least one cluster and one point");
+
+  KMeansResult result;
+  result.centroids = SeedCentroids(data, k, options.seed);
+
+  std::vector<double> sums(k * dim);
+  std::vector<size_t> counts(k);
+  RandomEngine rng(options.seed ^ 0xabcdef);
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.assignments =
+        AssignToCentroids(data, result.centroids, options.num_threads);
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    double inertia = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const idx_t c = result.assignments[i];
+      const float* row = data.Row(static_cast<idx_t>(i));
+      double* sum = &sums[static_cast<size_t>(c) * dim];
+      for (size_t d = 0; d < dim; ++d) sum[d] += row[d];
+      ++counts[c];
+      inertia += L2Sqr(row, result.centroids.Row(c), dim);
+    }
+    bool moved = false;
+    std::vector<float> centroid(dim);
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Dead cluster: respawn on a random point.
+        const idx_t pick = static_cast<idx_t>(rng.NextUint(n));
+        result.centroids.SetRow(static_cast<idx_t>(c), data.Row(pick));
+        moved = true;
+        continue;
+      }
+      const double* sum = &sums[c * dim];
+      const float* old = result.centroids.Row(static_cast<idx_t>(c));
+      for (size_t d = 0; d < dim; ++d) {
+        centroid[d] =
+            static_cast<float>(sum[d] / static_cast<double>(counts[c]));
+      }
+      if (!std::equal(centroid.begin(), centroid.end(), old)) moved = true;
+      result.centroids.SetRow(static_cast<idx_t>(c), centroid.data());
+    }
+    result.inertia = inertia / static_cast<double>(n);
+    result.iterations_run = iter + 1;
+    if (!moved) break;
+  }
+  result.assignments =
+      AssignToCentroids(data, result.centroids, options.num_threads);
+  return result;
+}
+
+}  // namespace song

@@ -1,0 +1,47 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// Lloyd's k-means with k-means++ style seeding. Substrate for the IVFPQ
+// baseline: the coarse quantizer and every product-quantizer codebook are
+// trained with this.
+
+#ifndef SONG_BASELINES_KMEANS_H_
+#define SONG_BASELINES_KMEANS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/types.h"
+
+namespace song {
+
+struct KMeansOptions {
+  size_t num_clusters = 16;
+  size_t max_iterations = 15;
+  uint64_t seed = 7;
+  size_t num_threads = 0;
+};
+
+struct KMeansResult {
+  /// num_clusters x dim centroid matrix.
+  Dataset centroids;
+  /// Per-input-row cluster id.
+  std::vector<idx_t> assignments;
+  /// Final mean squared distance to the assigned centroid.
+  double inertia = 0.0;
+  size_t iterations_run = 0;
+};
+
+/// Runs k-means (L2) over `data`. If data.num() < num_clusters the centroid
+/// count is reduced to data.num().
+KMeansResult RunKMeans(const Dataset& data, const KMeansOptions& options);
+
+/// Assigns each row of `points` to the nearest centroid (L2).
+std::vector<idx_t> AssignToCentroids(const Dataset& points,
+                                     const Dataset& centroids,
+                                     size_t num_threads = 0);
+
+}  // namespace song
+
+#endif  // SONG_BASELINES_KMEANS_H_

@@ -1,0 +1,122 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// Cache-line / SIMD aligned flat buffer. The dataset matrix and the
+// fixed-degree graph live in these so rows start at aligned addresses —
+// the CPU analogue of coalesced global-memory segments on the GPU.
+
+#ifndef SONG_CORE_ALIGNED_BUFFER_H_
+#define SONG_CORE_ALIGNED_BUFFER_H_
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <utility>
+
+#include "core/logging.h"
+
+namespace song {
+
+inline constexpr size_t kDefaultAlignment = 64;
+
+/// Owning aligned array of trivially-copyable T.
+template <typename T>
+class AlignedBuffer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "AlignedBuffer only holds trivially copyable types");
+
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(size_t count, size_t alignment = kDefaultAlignment) {
+    Allocate(count, alignment);
+  }
+
+  AlignedBuffer(const AlignedBuffer& other) { CopyFrom(other); }
+  AlignedBuffer& operator=(const AlignedBuffer& other) {
+    if (this != &other) {
+      Free();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)),
+        alignment_(other.alignment_) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      Free();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+      alignment_ = other.alignment_;
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { Free(); }
+
+  /// Reallocates to `count` elements (contents are NOT preserved) and
+  /// zero-fills.
+  void Reset(size_t count, size_t alignment = kDefaultAlignment) {
+    Free();
+    Allocate(count, alignment);
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t size_bytes() const { return size_ * sizeof(T); }
+
+  T& operator[](size_t i) {
+    SONG_DCHECK(i < size_);
+    return data_[i];
+  }
+  const T& operator[](size_t i) const {
+    SONG_DCHECK(i < size_);
+    return data_[i];
+  }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+ private:
+  void Allocate(size_t count, size_t alignment) {
+    alignment_ = alignment;
+    size_ = count;
+    if (count == 0) {
+      data_ = nullptr;
+      return;
+    }
+    size_t bytes = count * sizeof(T);
+    // std::aligned_alloc requires size to be a multiple of alignment.
+    bytes = (bytes + alignment - 1) / alignment * alignment;
+    data_ = static_cast<T*>(std::aligned_alloc(alignment, bytes));
+    SONG_CHECK_MSG(data_ != nullptr, "aligned_alloc failed");
+    std::memset(data_, 0, bytes);
+  }
+
+  void CopyFrom(const AlignedBuffer& other) {
+    Allocate(other.size_, other.alignment_);
+    if (size_ > 0) std::memcpy(data_, other.data_, size_ * sizeof(T));
+  }
+
+  void Free() {
+    std::free(data_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  T* data_ = nullptr;
+  size_t size_ = 0;
+  size_t alignment_ = kDefaultAlignment;
+};
+
+}  // namespace song
+
+#endif  // SONG_CORE_ALIGNED_BUFFER_H_

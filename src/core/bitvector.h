@@ -1,0 +1,82 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// Packed bit vectors and Hamming distance (popcount), used by the 1-bit
+// random projection path (paper §VII) where each point becomes an h-bit code
+// stored as h/32 u32 words — we pack into u64 words internally.
+
+#ifndef SONG_CORE_BITVECTOR_H_
+#define SONG_CORE_BITVECTOR_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "core/aligned_buffer.h"
+#include "core/logging.h"
+#include "core/types.h"
+
+namespace song {
+
+/// Hamming distance between two packed codes of `words` u64 words.
+inline uint32_t HammingDistance(const uint64_t* a, const uint64_t* b,
+                                size_t words) {
+  uint32_t total = 0;
+  for (size_t w = 0; w < words; ++w) {
+    total += static_cast<uint32_t>(std::popcount(a[w] ^ b[w]));
+  }
+  return total;
+}
+
+/// A matrix of fixed-width binary codes, one row per point.
+class BinaryCodes {
+ public:
+  BinaryCodes() = default;
+
+  /// `bits` is rounded up to a multiple of 64 for storage; logical width is
+  /// kept for distance normalization and size accounting.
+  BinaryCodes(size_t num, size_t bits)
+      : num_(num), bits_(bits), words_(RoundUpWords(bits)) {
+    data_.Reset(num_ * words_);
+  }
+
+  size_t num() const { return num_; }
+  size_t bits() const { return bits_; }
+  size_t words() const { return words_; }
+
+  /// Payload bytes using the paper's accounting (bits/8 per point).
+  size_t PayloadBytes() const { return num_ * (bits_ / 8); }
+
+  uint64_t* Row(idx_t i) {
+    SONG_DCHECK(i < num_);
+    return data_.data() + static_cast<size_t>(i) * words_;
+  }
+  const uint64_t* Row(idx_t i) const {
+    SONG_DCHECK(i < num_);
+    return data_.data() + static_cast<size_t>(i) * words_;
+  }
+
+  void SetBit(idx_t row, size_t bit) {
+    SONG_DCHECK(bit < bits_);
+    Row(row)[bit >> 6] |= uint64_t{1} << (bit & 63);
+  }
+  bool GetBit(idx_t row, size_t bit) const {
+    SONG_DCHECK(bit < bits_);
+    return (Row(row)[bit >> 6] >> (bit & 63)) & 1;
+  }
+
+  uint32_t Hamming(idx_t a, idx_t b) const {
+    return HammingDistance(Row(a), Row(b), words_);
+  }
+
+ private:
+  static size_t RoundUpWords(size_t bits) { return (bits + 63) / 64; }
+
+  size_t num_ = 0;
+  size_t bits_ = 0;
+  size_t words_ = 0;
+  AlignedBuffer<uint64_t> data_;
+};
+
+}  // namespace song
+
+#endif  // SONG_CORE_BITVECTOR_H_

@@ -1,0 +1,87 @@
+#include "core/dataset.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace song {
+
+namespace {
+constexpr char kMagic[4] = {'S', 'N', 'G', 'D'};
+}  // namespace
+
+Dataset::Dataset(size_t num, size_t dim)
+    : num_(num), dim_(dim), stride_(PaddedStride(dim)) {
+  data_.Reset(num_ * stride_);
+}
+
+StatusOr<Dataset> Dataset::FromFlat(const std::vector<float>& flat, size_t num,
+                                    size_t dim) {
+  if (flat.size() != num * dim) {
+    return Status::InvalidArgument("flat size != num * dim");
+  }
+  Dataset ds(num, dim);
+  for (size_t i = 0; i < num; ++i) {
+    ds.SetRow(static_cast<idx_t>(i), flat.data() + i * dim);
+  }
+  return ds;
+}
+
+void Dataset::SetRow(idx_t i, const float* values) {
+  std::memcpy(Row(i), values, dim_ * sizeof(float));
+}
+
+void Dataset::NormalizeRows() {
+  for (size_t i = 0; i < num_; ++i) {
+    float* row = Row(static_cast<idx_t>(i));
+    double sq = 0.0;
+    for (size_t d = 0; d < dim_; ++d) sq += double{row[d]} * row[d];
+    if (sq <= 0.0) continue;
+    const float inv = static_cast<float>(1.0 / std::sqrt(sq));
+    for (size_t d = 0; d < dim_; ++d) row[d] *= inv;
+  }
+}
+
+Status Dataset::Save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open for write: " + path);
+  bool ok = std::fwrite(kMagic, 1, 4, f) == 4;
+  const uint32_t dim32 = static_cast<uint32_t>(dim_);
+  const uint64_t num64 = num_;
+  ok = ok && std::fwrite(&dim32, sizeof(dim32), 1, f) == 1;
+  ok = ok && std::fwrite(&num64, sizeof(num64), 1, f) == 1;
+  for (size_t i = 0; ok && i < num_; ++i) {
+    ok = std::fwrite(Row(static_cast<idx_t>(i)), sizeof(float), dim_, f) ==
+         dim_;
+  }
+  std::fclose(f);
+  if (!ok) return Status::IOError("short write: " + path);
+  return Status::OK();
+}
+
+StatusOr<Dataset> Dataset::Load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open for read: " + path);
+  char magic[4];
+  uint32_t dim32 = 0;
+  uint64_t num64 = 0;
+  bool ok = std::fread(magic, 1, 4, f) == 4 &&
+            std::memcmp(magic, kMagic, 4) == 0;
+  ok = ok && std::fread(&dim32, sizeof(dim32), 1, f) == 1;
+  ok = ok && std::fread(&num64, sizeof(num64), 1, f) == 1;
+  if (!ok) {
+    std::fclose(f);
+    return Status::IOError("bad header: " + path);
+  }
+  Dataset ds(static_cast<size_t>(num64), dim32);
+  std::vector<float> row(dim32);
+  for (size_t i = 0; ok && i < num64; ++i) {
+    ok = std::fread(row.data(), sizeof(float), dim32, f) == dim32;
+    if (ok) ds.SetRow(static_cast<idx_t>(i), row.data());
+  }
+  std::fclose(f);
+  if (!ok) return Status::IOError("short read: " + path);
+  return ds;
+}
+
+}  // namespace song

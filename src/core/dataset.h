@@ -1,0 +1,76 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// Row-major float matrix holding the vector dataset, with binary IO.
+// Rows are padded to a multiple of 16 floats so every row starts on a
+// 64-byte boundary (the CPU analogue of the GPU's aligned global-memory
+// segments, paper §II).
+
+#ifndef SONG_CORE_DATASET_H_
+#define SONG_CORE_DATASET_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/aligned_buffer.h"
+#include "core/status.h"
+#include "core/types.h"
+
+namespace song {
+
+/// A dense row-major float matrix: `num()` rows of `dim()` usable floats,
+/// with an internal padded stride.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Creates a zero-filled dataset with `num` rows of `dim` floats.
+  Dataset(size_t num, size_t dim);
+
+  /// Builds from a flat row-major vector (size must be num * dim).
+  static StatusOr<Dataset> FromFlat(const std::vector<float>& flat, size_t num,
+                                    size_t dim);
+
+  size_t num() const { return num_; }
+  size_t dim() const { return dim_; }
+  size_t stride() const { return stride_; }
+  bool empty() const { return num_ == 0; }
+
+  /// Bytes of *payload* data (num * dim * 4), matching how the paper quotes
+  /// dataset sizes; `AllocatedBytes` includes padding.
+  size_t PayloadBytes() const { return num_ * dim_ * sizeof(float); }
+  size_t AllocatedBytes() const { return data_.size_bytes(); }
+
+  float* Row(idx_t i) {
+    SONG_DCHECK(i < num_);
+    return data_.data() + static_cast<size_t>(i) * stride_;
+  }
+  const float* Row(idx_t i) const {
+    SONG_DCHECK(i < num_);
+    return data_.data() + static_cast<size_t>(i) * stride_;
+  }
+
+  /// Copies a row in (source must have dim() floats).
+  void SetRow(idx_t i, const float* values);
+
+  /// L2-normalizes every row in place (used for cosine / inner-product
+  /// workloads). Zero rows are left unchanged.
+  void NormalizeRows();
+
+  /// Serialization: magic "SNGD", u32 dim, u64 num, then num*dim floats
+  /// (unpadded).
+  Status Save(const std::string& path) const;
+  static StatusOr<Dataset> Load(const std::string& path);
+
+ private:
+  static size_t PaddedStride(size_t dim) { return (dim + 15) / 16 * 16; }
+
+  size_t num_ = 0;
+  size_t dim_ = 0;
+  size_t stride_ = 0;
+  AlignedBuffer<float> data_;
+};
+
+}  // namespace song
+
+#endif  // SONG_CORE_DATASET_H_

@@ -1,0 +1,82 @@
+#include "core/distance.h"
+
+#include <cmath>
+
+namespace song {
+
+const char* MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kL2:
+      return "l2";
+    case Metric::kInnerProduct:
+      return "ip";
+    case Metric::kCosine:
+      return "cosine";
+  }
+  return "unknown";
+}
+
+float L2Sqr(const float* a, const float* b, size_t dim) {
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  size_t d = 0;
+  for (; d + 4 <= dim; d += 4) {
+    const float d0 = a[d] - b[d];
+    const float d1 = a[d + 1] - b[d + 1];
+    const float d2 = a[d + 2] - b[d + 2];
+    const float d3 = a[d + 3] - b[d + 3];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+  }
+  for (; d < dim; ++d) {
+    const float diff = a[d] - b[d];
+    s0 += diff * diff;
+  }
+  return (s0 + s1) + (s2 + s3);
+}
+
+namespace {
+
+float Dot(const float* a, const float* b, size_t dim) {
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  size_t d = 0;
+  for (; d + 4 <= dim; d += 4) {
+    s0 += a[d] * b[d];
+    s1 += a[d + 1] * b[d + 1];
+    s2 += a[d + 2] * b[d + 2];
+    s3 += a[d + 3] * b[d + 3];
+  }
+  for (; d < dim; ++d) s0 += a[d] * b[d];
+  return (s0 + s1) + (s2 + s3);
+}
+
+float NormSqr(const float* a, size_t dim) { return Dot(a, a, dim); }
+
+}  // namespace
+
+float InnerProduct(const float* a, const float* b, size_t dim) {
+  return -Dot(a, b, dim);
+}
+
+float CosineDistance(const float* a, const float* b, size_t dim) {
+  const float dot = Dot(a, b, dim);
+  const float na = NormSqr(a, dim);
+  const float nb = NormSqr(b, dim);
+  if (na <= 0.0f || nb <= 0.0f) return 1.0f;
+  return 1.0f - dot / std::sqrt(na * nb);
+}
+
+DistanceFunc GetDistanceFunc(Metric metric) {
+  switch (metric) {
+    case Metric::kL2:
+      return &L2Sqr;
+    case Metric::kInnerProduct:
+      return &InnerProduct;
+    case Metric::kCosine:
+      return &CosineDistance;
+  }
+  return &L2Sqr;
+}
+
+}  // namespace song

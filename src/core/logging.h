@@ -1,0 +1,43 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// Minimal check/assert macros. Hot paths use SONG_DCHECK (compiled out in
+// release); construction-time invariants use SONG_CHECK which always fires.
+
+#ifndef SONG_CORE_LOGGING_H_
+#define SONG_CORE_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace song::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "[SONG CHECK FAILED] %s:%d: (%s) %s\n", file, line,
+               expr, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace song::internal
+
+#define SONG_CHECK(cond)                                                  \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::song::internal::CheckFailed(__FILE__, __LINE__, #cond, nullptr);  \
+  } while (0)
+
+#define SONG_CHECK_MSG(cond, msg)                                      \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::song::internal::CheckFailed(__FILE__, __LINE__, #cond, (msg)); \
+  } while (0)
+
+#ifndef NDEBUG
+#define SONG_DCHECK(cond) SONG_CHECK(cond)
+#else
+#define SONG_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#endif
+
+#endif  // SONG_CORE_LOGGING_H_

@@ -1,0 +1,102 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// Deterministic, fast PRNG (xoshiro256** seeded via splitmix64) plus the
+// continuous distributions the library needs (uniform, Gaussian, Cauchy).
+// We avoid std:: distributions so that synthetic datasets and graph builds
+// reproduce bit-identically across standard-library implementations.
+
+#ifndef SONG_CORE_RANDOM_H_
+#define SONG_CORE_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace song {
+
+/// splitmix64: used for seeding and cheap stateless hashing.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna. Small state, excellent statistical
+/// quality, deterministic everywhere.
+class RandomEngine {
+ public:
+  using result_type = uint64_t;
+
+  explicit RandomEngine(uint64_t seed = 0x5345454453454544ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : s_) word = SplitMix64(sm);
+    has_cached_gaussian_ = false;
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  uint64_t operator()() { return Next(); }
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~0ULL; }
+
+  /// Uniform in [0, 1).
+  double NextUniform() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double NextUniform(double lo, double hi) {
+    return lo + (hi - lo) * NextUniform();
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t NextUint(uint64_t n) { return Next() % n; }
+
+  /// Standard normal via Box-Muller (cached second deviate).
+  double NextGaussian() {
+    if (has_cached_gaussian_) {
+      has_cached_gaussian_ = false;
+      return cached_gaussian_;
+    }
+    double u1 = NextUniform();
+    // Guard against log(0).
+    while (u1 <= 1e-300) u1 = NextUniform();
+    const double u2 = NextUniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_gaussian_ = r * std::sin(theta);
+    has_cached_gaussian_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Standard Cauchy (used by sign-Cauchy projections, paper §VII).
+  double NextCauchy() {
+    double u = NextUniform();
+    // Avoid the poles of tan at 0 and 1.
+    while (u <= 1e-12 || u >= 1.0 - 1e-12) u = NextUniform();
+    return std::tan(M_PI * (u - 0.5));
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace song
+
+#endif  // SONG_CORE_RANDOM_H_

@@ -1,0 +1,33 @@
+#include "core/recall.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace song {
+
+double RecallAtK(const std::vector<idx_t>& result,
+                 const std::vector<idx_t>& ground_truth, size_t k) {
+  if (k == 0 || ground_truth.empty()) return 0.0;
+  const size_t gt_k = std::min(k, ground_truth.size());
+  std::unordered_set<idx_t> truth(ground_truth.begin(),
+                                  ground_truth.begin() + gt_k);
+  const size_t res_k = std::min(k, result.size());
+  size_t hits = 0;
+  for (size_t i = 0; i < res_k; ++i) {
+    if (truth.erase(result[i]) > 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(gt_k);
+}
+
+double MeanRecallAtK(const std::vector<std::vector<idx_t>>& results,
+                     const std::vector<std::vector<idx_t>>& ground_truth,
+                     size_t k) {
+  if (results.empty() || results.size() != ground_truth.size()) return 0.0;
+  double total = 0.0;
+  for (size_t q = 0; q < results.size(); ++q) {
+    total += RecallAtK(results[q], ground_truth[q], k);
+  }
+  return total / static_cast<double>(results.size());
+}
+
+}  // namespace song

@@ -1,0 +1,29 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// Recall evaluation: Recall(A) = |A ∩ B| / |B| where B is the exact top-K
+// (paper §VIII "Retrieval Quality").
+
+#ifndef SONG_CORE_RECALL_H_
+#define SONG_CORE_RECALL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.h"
+
+namespace song {
+
+/// Recall of one result list against one ground-truth list, both truncated
+/// to k. Duplicate ids in `result` are counted once.
+double RecallAtK(const std::vector<idx_t>& result,
+                 const std::vector<idx_t>& ground_truth, size_t k);
+
+/// Mean recall across queries. `results[q]` / `ground_truth[q]` are the
+/// per-query id lists.
+double MeanRecallAtK(const std::vector<std::vector<idx_t>>& results,
+                     const std::vector<std::vector<idx_t>>& ground_truth,
+                     size_t k);
+
+}  // namespace song
+
+#endif  // SONG_CORE_RECALL_H_

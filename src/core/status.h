@@ -1,0 +1,144 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// RocksDB-style Status / StatusOr error handling. Fallible public APIs
+// return Status (or StatusOr<T>); exceptions are not used.
+
+#ifndef SONG_CORE_STATUS_H_
+#define SONG_CORE_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "core/logging.h"
+
+namespace song {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Lightweight status object. OK carries no allocation.
+class Status {
+ public:
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + message_;
+  }
+
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk:
+        return "OK";
+      case StatusCode::kInvalidArgument:
+        return "InvalidArgument";
+      case StatusCode::kNotFound:
+        return "NotFound";
+      case StatusCode::kIOError:
+        return "IOError";
+      case StatusCode::kFailedPrecondition:
+        return "FailedPrecondition";
+      case StatusCode::kOutOfRange:
+        return "OutOfRange";
+      case StatusCode::kUnimplemented:
+        return "Unimplemented";
+      case StatusCode::kInternal:
+        return "Internal";
+    }
+    return "Unknown";
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value or an error Status. Accessing value() on an error aborts.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  StatusOr(Status status)                        // NOLINT(runtime/explicit)
+      : rep_(std::move(status)) {
+    SONG_CHECK_MSG(!std::get<Status>(rep_).ok(),
+                   "StatusOr constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status ok_status = Status::OK();
+    if (ok()) return ok_status;
+    return std::get<Status>(rep_);
+  }
+
+  T& value() & {
+    SONG_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(rep_);
+  }
+  const T& value() const& {
+    SONG_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    SONG_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(std::move(rep_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+#define SONG_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::song::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+}  // namespace song
+
+#endif  // SONG_CORE_STATUS_H_

@@ -1,0 +1,58 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// Fixed-size worker pool plus a ParallelFor helper. Used by the batch query
+// engine (queries across warps ≙ queries across worker threads), ground-truth
+// computation, and graph construction.
+
+#ifndef SONG_CORE_THREAD_POOL_H_
+#define SONG_CORE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace song {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (0 means hardware concurrency).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task; fire-and-forget (use Wait() to join).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;
+  std::condition_variable done_cv_;
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs fn(i, thread_id) for i in [0, n), dynamically chunked across
+/// `num_threads` transient threads (0 = hardware concurrency). Blocks until
+/// done. `fn` must be thread-safe across distinct i.
+void ParallelFor(size_t n, size_t num_threads,
+                 const std::function<void(size_t index, size_t thread)>& fn);
+
+}  // namespace song
+
+#endif  // SONG_CORE_THREAD_POOL_H_

@@ -1,0 +1,31 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// Wall-clock timer used by the benchmark harnesses.
+
+#ifndef SONG_CORE_TIMER_H_
+#define SONG_CORE_TIMER_H_
+
+#include <chrono>
+
+namespace song {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace song
+
+#endif  // SONG_CORE_TIMER_H_

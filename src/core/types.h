@@ -1,0 +1,43 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// Fundamental value types shared across the library.
+
+#ifndef SONG_CORE_TYPES_H_
+#define SONG_CORE_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace song {
+
+/// Index of a data point / graph vertex. 32 bits: the paper targets datasets
+/// up to a few tens of millions of points (MNIST8m), which fits comfortably.
+using idx_t = uint32_t;
+
+/// Sentinel used to pad fixed-degree adjacency rows and to mark empty hash
+/// slots.
+inline constexpr idx_t kInvalidIdx = std::numeric_limits<idx_t>::max();
+
+/// A (distance, vertex) pair. Orderings compare by distance first so the pair
+/// can live directly inside heaps; ties break on id for determinism.
+struct Neighbor {
+  float dist = 0.0f;
+  idx_t id = kInvalidIdx;
+
+  Neighbor() = default;
+  Neighbor(float d, idx_t i) : dist(d), id(i) {}
+
+  friend bool operator<(const Neighbor& a, const Neighbor& b) {
+    if (a.dist != b.dist) return a.dist < b.dist;
+    return a.id < b.id;
+  }
+  friend bool operator>(const Neighbor& a, const Neighbor& b) { return b < a; }
+  friend bool operator==(const Neighbor& a, const Neighbor& b) {
+    return a.dist == b.dist && a.id == b.id;
+  }
+};
+
+}  // namespace song
+
+#endif  // SONG_CORE_TYPES_H_

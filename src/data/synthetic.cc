@@ -1,0 +1,174 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+#include "core/random.h"
+
+namespace song {
+
+namespace {
+
+// Draws a cluster id with Zipf-like weights: w_c = 1 / (c+1)^skew.
+size_t DrawCluster(RandomEngine& rng, const std::vector<double>& cdf) {
+  const double u = rng.NextUniform();
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  return static_cast<size_t>(std::min<std::ptrdiff_t>(
+      it - cdf.begin(), static_cast<std::ptrdiff_t>(cdf.size()) - 1));
+}
+
+}  // namespace
+
+SyntheticData GenerateSynthetic(const SyntheticSpec& spec) {
+  SONG_CHECK_MSG(spec.num_points > 0 && spec.dim > 0, "empty spec");
+  RandomEngine rng(spec.seed);
+  const size_t dim = spec.dim;
+
+  // Cluster centers (one broad Gaussian when num_clusters == 0).
+  const size_t k = std::max<size_t>(1, spec.num_clusters);
+  std::vector<float> centers(k * dim, 0.0f);
+  if (spec.num_clusters > 0) {
+    for (float& c : centers) c = static_cast<float>(rng.NextGaussian());
+  }
+
+  // Zipf CDF over clusters.
+  std::vector<double> cdf(k);
+  double total = 0.0;
+  for (size_t c = 0; c < k; ++c) {
+    total += 1.0 / std::pow(static_cast<double>(c + 1), spec.skew);
+    cdf[c] = total;
+  }
+  for (double& v : cdf) v /= total;
+
+  const double sigma = spec.num_clusters > 0 ? spec.cluster_std : 1.0;
+  auto draw_prototype = [&](float* row) {
+    const size_t c = DrawCluster(rng, cdf);
+    const float* center = &centers[c * dim];
+    for (size_t d = 0; d < dim; ++d) {
+      row[d] = center[d] + static_cast<float>(rng.NextGaussian() * sigma);
+    }
+  };
+
+  SyntheticData out{Dataset(spec.num_points, dim),
+                    Dataset(spec.num_queries, dim)};
+  const size_t dup = std::max<size_t>(1, spec.duplicates_per_point);
+  std::vector<float> proto(dim);
+  std::vector<float> row(dim);
+  auto perturb = [&](float* dst) {
+    for (size_t d = 0; d < dim; ++d) {
+      dst[d] = proto[d] +
+               static_cast<float>(rng.NextGaussian() * spec.duplicate_std);
+    }
+  };
+  for (size_t i = 0; i < spec.num_points; ++i) {
+    if (i % dup == 0) draw_prototype(proto.data());
+    if (dup == 1) {
+      out.points.SetRow(static_cast<idx_t>(i), proto.data());
+    } else {
+      perturb(row.data());
+      out.points.SetRow(static_cast<idx_t>(i), row.data());
+    }
+  }
+  // Queries: perturbations of prototypes of random existing points (so each
+  // query has genuinely close neighbors in the set, like MNIST8m's
+  // deformation families).
+  for (size_t i = 0; i < spec.num_queries; ++i) {
+    if (dup == 1) {
+      draw_prototype(row.data());
+    } else {
+      const size_t anchor =
+          (rng.NextUint(spec.num_points) / dup) * dup;  // family start
+      std::copy_n(out.points.Row(static_cast<idx_t>(anchor)), dim,
+                  proto.data());
+      perturb(row.data());
+    }
+    out.queries.SetRow(static_cast<idx_t>(i), row.data());
+  }
+  if (spec.normalize) {
+    out.points.NormalizeRows();
+    out.queries.NormalizeRows();
+  }
+  return out;
+}
+
+SyntheticSpec PresetSpec(const std::string& name, double scale) {
+  auto scaled = [&](size_t n) {
+    return std::max<size_t>(1000, static_cast<size_t>(n * scale));
+  };
+  SyntheticSpec spec;
+  spec.name = name;
+  if (name == "nytimes") {
+    // 256-dim bag-of-words embeddings: heavily skewed, clustered, angular.
+    spec.dim = 256;
+    spec.num_points = scaled(8000);
+    spec.num_clusters = 60;
+    spec.cluster_std = 0.18;
+    spec.skew = 1.1;
+    spec.normalize = true;
+    spec.seed = 101;
+  } else if (name == "sift") {
+    // 128-dim local image descriptors: mild structure, ANN-friendly.
+    spec.dim = 128;
+    spec.num_points = scaled(12000);
+    spec.num_clusters = 400;
+    spec.cluster_std = 0.9;
+    spec.skew = 0.2;
+    spec.seed = 102;
+  } else if (name == "glove200") {
+    // 200-dim word embeddings: skewed, clustered, angular.
+    spec.dim = 200;
+    spec.num_points = scaled(10000);
+    spec.num_clusters = 80;
+    spec.cluster_std = 0.22;
+    spec.skew = 1.0;
+    spec.normalize = true;
+    spec.seed = 103;
+  } else if (name == "uq_v") {
+    // 256-dim video keyframe features: low skew, friendly.
+    spec.dim = 256;
+    spec.num_points = scaled(12000);
+    spec.num_clusters = 500;
+    spec.cluster_std = 1.0;
+    spec.skew = 0.15;
+    spec.seed = 104;
+  } else if (name == "gist") {
+    // 960-dim global image descriptors: highest dimensionality.
+    spec.dim = 960;
+    spec.num_points = scaled(5000);
+    spec.num_clusters = 150;
+    spec.cluster_std = 0.6;
+    spec.skew = 0.4;
+    spec.seed = 105;
+  } else if (name == "mnist" || name == "mnist8m") {
+    // 784-dim raster digits: ten broad classes, moderate spread. Rows are
+    // normalized so the 1-bit random-projection experiment (§VII estimates
+    // *angular* similarity) is measured against a consistent L2 ground
+    // truth — on unit vectors L2 and cosine order identically.
+    spec.dim = 784;
+    spec.num_points = scaled(10000);
+    spec.num_clusters = 10;
+    spec.cluster_std = 0.55;
+    spec.skew = 0.1;
+    spec.duplicates_per_point = 8;  // MNIST8m = deformations of base digits
+    spec.duplicate_std = 0.1;
+    spec.normalize = true;
+    spec.seed = 106;
+  } else if (name == "mnist1m") {
+    // The §VIII-H subsample used to validate hashing quality.
+    spec = PresetSpec("mnist", scale);
+    spec.name = "mnist1m";
+    spec.num_points = std::max<size_t>(1000, spec.num_points / 4);
+    spec.seed = 107;
+  } else {
+    SONG_CHECK_MSG(false, ("unknown preset: " + name).c_str());
+  }
+  spec.num_queries = 200;
+  return spec;
+}
+
+std::vector<std::string> AllPresetNames() {
+  return {"nytimes", "sift", "glove200", "uq_v", "gist", "mnist"};
+}
+
+}  // namespace song

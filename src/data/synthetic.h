@@ -1,0 +1,68 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// Synthetic dataset generators standing in for the paper's six benchmark
+// datasets (Table I). Each preset keeps the published dimensionality and the
+// distribution character the paper leans on — NYTimes and GloVe200 are
+// "heavily skewed and clustered" (hard for ANN), SIFT and UQ_V are
+// un-clustered ("friendly"), GIST is very high-dimensional, MNIST8m is the
+// out-of-GPU-memory case — while scaling the point counts so every bench
+// builds and runs in CI time. See DESIGN.md §1 for the substitution
+// rationale.
+
+#ifndef SONG_DATA_SYNTHETIC_H_
+#define SONG_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/distance.h"
+
+namespace song {
+
+struct SyntheticSpec {
+  std::string name;
+  size_t dim = 128;
+  size_t num_points = 20000;
+  size_t num_queries = 300;
+  /// 0 = no cluster structure (points drawn from one broad Gaussian).
+  size_t num_clusters = 0;
+  /// Within-cluster standard deviation relative to the inter-cluster scale
+  /// (smaller = tighter, harder clusters).
+  double cluster_std = 0.25;
+  /// Zipf exponent for cluster sizes; 0 = balanced, ~1 = heavily skewed.
+  double skew = 0.0;
+  /// Near-duplicate structure: every `duplicates_per_point` consecutive
+  /// points are small perturbations (std `duplicate_std`) of one shared
+  /// prototype. 1 = independent points. MNIST8m is literally built this way
+  /// (8.1M deformations of 60k base digits), and this structure is what
+  /// makes the 1-bit-hashing experiment (§VII / Fig 14) meaningful: the true
+  /// nearest neighbor is angularly far closer than everything else.
+  size_t duplicates_per_point = 1;
+  double duplicate_std = 0.05;
+
+  /// L2-normalize rows (angular datasets: NYTimes, GloVe).
+  bool normalize = false;
+  Metric metric = Metric::kL2;
+  uint64_t seed = 1;
+};
+
+/// Generates the point set and a query set drawn from the same mixture.
+struct SyntheticData {
+  Dataset points;
+  Dataset queries;
+};
+SyntheticData GenerateSynthetic(const SyntheticSpec& spec);
+
+/// Named presets mirroring Table I (scaled): "nytimes", "sift", "glove200",
+/// "uq_v", "gist", "mnist" (and "mnist1m", the §VIII-H subsample). `scale`
+/// multiplies point counts.
+SyntheticSpec PresetSpec(const std::string& name, double scale = 1.0);
+
+/// All six preset names in Table I order.
+std::vector<std::string> AllPresetNames();
+
+}  // namespace song
+
+#endif  // SONG_DATA_SYNTHETIC_H_

@@ -1,0 +1,166 @@
+#include "data/workload.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+#include "baselines/flat_index.h"
+#include "core/logging.h"
+#include "data/synthetic.h"
+#include "graph/nsw_builder.h"
+
+namespace song {
+
+namespace {
+
+constexpr char kGtMagic[4] = {'S', 'N', 'G', 'T'};
+
+Status SaveGroundTruth(const std::string& path,
+                       const std::vector<std::vector<idx_t>>& gt, size_t k) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  const uint32_t k32 = static_cast<uint32_t>(k);
+  const uint64_t nq = gt.size();
+  bool ok = std::fwrite(kGtMagic, 1, 4, f) == 4 &&
+            std::fwrite(&k32, sizeof(k32), 1, f) == 1 &&
+            std::fwrite(&nq, sizeof(nq), 1, f) == 1;
+  std::vector<idx_t> row(k, kInvalidIdx);
+  for (size_t q = 0; ok && q < gt.size(); ++q) {
+    std::fill(row.begin(), row.end(), kInvalidIdx);
+    std::copy_n(gt[q].begin(), std::min(k, gt[q].size()), row.begin());
+    ok = std::fwrite(row.data(), sizeof(idx_t), k, f) == k;
+  }
+  std::fclose(f);
+  return ok ? Status::OK() : Status::IOError("short write " + path);
+}
+
+StatusOr<std::vector<std::vector<idx_t>>> LoadGroundTruth(
+    const std::string& path, size_t expected_k, size_t expected_nq) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  char magic[4];
+  uint32_t k32 = 0;
+  uint64_t nq = 0;
+  bool ok = std::fread(magic, 1, 4, f) == 4 &&
+            std::memcmp(magic, kGtMagic, 4) == 0 &&
+            std::fread(&k32, sizeof(k32), 1, f) == 1 &&
+            std::fread(&nq, sizeof(nq), 1, f) == 1;
+  if (!ok || k32 != expected_k || nq != expected_nq) {
+    std::fclose(f);
+    return Status::IOError("stale ground-truth cache: " + path);
+  }
+  std::vector<std::vector<idx_t>> gt(nq);
+  std::vector<idx_t> row(k32);
+  for (size_t q = 0; ok && q < nq; ++q) {
+    ok = std::fread(row.data(), sizeof(idx_t), k32, f) == k32;
+    if (ok) {
+      gt[q].clear();
+      for (const idx_t id : row) {
+        if (id != kInvalidIdx) gt[q].push_back(id);
+      }
+    }
+  }
+  std::fclose(f);
+  if (!ok) return Status::IOError("short read " + path);
+  return gt;
+}
+
+}  // namespace
+
+std::string ResolveCacheDir(const WorkloadOptions& options) {
+  std::string dir = options.cache_dir;
+  if (dir.empty()) {
+    const char* env = std::getenv("SONG_CACHE_DIR");
+    if (env != nullptr && env[0] != '\0') {
+      dir = env;
+    } else {
+      dir = (std::filesystem::temp_directory_path() / "song_cache").string();
+    }
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+double ResolveScale(const WorkloadOptions& options) {
+  if (options.scale > 0.0) return options.scale;
+  const char* env = std::getenv("SONG_BENCH_SCALE");
+  if (env != nullptr && env[0] != '\0') {
+    const double v = std::atof(env);
+    if (v > 0.0) return v;
+  }
+  return 1.0;
+}
+
+Workload GetWorkload(const std::string& preset,
+                     const WorkloadOptions& options) {
+  const double scale = ResolveScale(options);
+  const SyntheticSpec spec = PresetSpec(preset, scale);
+  SyntheticData generated = GenerateSynthetic(spec);
+
+  Workload w;
+  w.name = preset;
+  w.metric = spec.metric;
+  w.data = std::move(generated.points);
+  w.queries = std::move(generated.queries);
+  w.gt_k = options.gt_k;
+
+  char tag[128];
+  std::snprintf(tag, sizeof(tag), "%s_n%zu_q%zu_k%zu", preset.c_str(),
+                w.data.num(), w.queries.num(), options.gt_k);
+  const std::string gt_path =
+      ResolveCacheDir(options) + "/gt_" + tag + ".bin";
+
+  if (options.use_cache) {
+    auto loaded = LoadGroundTruth(gt_path, options.gt_k, w.queries.num());
+    if (loaded.ok()) {
+      w.ground_truth = std::move(loaded.value());
+      return w;
+    }
+  }
+  FlatIndex flat(&w.data, w.metric);
+  w.ground_truth =
+      FlatIndex::Ids(flat.BatchSearch(w.queries, options.gt_k,
+                                      options.num_threads));
+  if (options.use_cache) {
+    const Status s = SaveGroundTruth(gt_path, w.ground_truth, options.gt_k);
+    if (!s.ok()) {
+      std::fprintf(stderr, "[workload] %s\n", s.ToString().c_str());
+    }
+  }
+  return w;
+}
+
+FixedDegreeGraph GetOrBuildNswGraph(const Workload& workload, size_t degree,
+                                    const WorkloadOptions& options) {
+  char tag[160];
+  std::snprintf(tag, sizeof(tag), "%s_n%zu_d%zu_m%d_v2", workload.name.c_str(),
+                workload.data.num(), degree,
+                static_cast<int>(workload.metric));
+  const std::string path =
+      ResolveCacheDir(options) + "/nsw_" + tag + ".bin";
+  if (options.use_cache) {
+    auto loaded = FixedDegreeGraph::Load(path);
+    if (loaded.ok() &&
+        loaded.value().num_vertices() == workload.data.num() &&
+        loaded.value().degree() == degree) {
+      return std::move(loaded.value());
+    }
+  }
+  NswBuildOptions nsw;
+  nsw.degree = degree;
+  nsw.num_threads = options.num_threads;
+  FixedDegreeGraph graph = NswBuilder::Build(workload.data, workload.metric,
+                                             nsw);
+  if (options.use_cache) {
+    const Status s = graph.Save(path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "[workload] %s\n", s.ToString().c_str());
+    }
+  }
+  return graph;
+}
+
+}  // namespace song

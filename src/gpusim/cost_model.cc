@@ -1,0 +1,170 @@
+#include "gpusim/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace song {
+
+namespace {
+
+// Per-query shared budget for the visited structure; beyond this it lives in
+// global memory (the paper stores the un-optimized table in global memory
+// because "its size can grow beyond the L1 cache capacity", §VIII).
+constexpr size_t kVisitedSharedBudget = 16 * 1024;
+
+double Log2Ceil(double x) { return std::max(1.0, std::ceil(std::log2(x))); }
+
+}  // namespace
+
+double CostModel::SharedBytesPerQuery(const WorkloadShape& shape,
+                                      size_t visited_bytes,
+                                      bool include_visited) const {
+  // Query vector + two bounded heaps + candidate id/dist staging arrays.
+  double bytes = static_cast<double>(shape.dim) * sizeof(float);
+  bytes += (2.0 * shape.queue_size + 2.0) * sizeof(Neighbor);  // q (SMMH)
+  bytes += static_cast<double>(shape.queue_size) * sizeof(Neighbor);  // topk
+  bytes += static_cast<double>(shape.degree * shape.multi_step) *
+           (sizeof(idx_t) + sizeof(float));
+  if (include_visited) bytes += static_cast<double>(visited_bytes);
+  return bytes;
+}
+
+KernelBreakdown CostModel::Estimate(const SearchStats& totals,
+                                    const WorkloadShape& shape) const {
+  KernelBreakdown out;
+  const double nq = static_cast<double>(std::max<size_t>(1, shape.num_queries));
+  const double clock_hz = spec_.clock_ghz * 1e9;
+  const size_t mq = std::max<size_t>(1, shape.multi_query);
+
+  // ---- Occupancy from shared-memory footprint. ----
+  const size_t visited_bytes = totals.visited_capacity_bytes;
+  const bool visited_fits = visited_bytes <= kVisitedSharedBudget;
+  const double shared_per_query =
+      SharedBytesPerQuery(shape, visited_bytes, visited_fits);
+  const double shared_per_warp = shared_per_query * static_cast<double>(mq);
+  double warps_per_sm =
+      static_cast<double>(spec_.shared_mem_per_sm) / shared_per_warp;
+  warps_per_sm = std::clamp(warps_per_sm, 1.0,
+                            static_cast<double>(spec_.max_warps_per_sm));
+  const double num_warps = std::ceil(nq / static_cast<double>(mq));
+  const double resident =
+      std::min(static_cast<double>(spec_.num_sms) * warps_per_sm, num_warps);
+
+  out.resident_warps = resident;
+  out.visited_in_shared = visited_fits;
+  out.shared_bytes_per_warp = shared_per_warp;
+
+  // ---- Per-query averaged counters. ----
+  const double rows = static_cast<double>(totals.graph_rows_loaded) / nq;
+  const double cands = static_cast<double>(totals.distance_computations) / nq;
+  const double pops = static_cast<double>(totals.q_pops) / nq;
+  const double pushes = static_cast<double>(totals.q_pushes +
+                                            totals.q_evictions) /
+                        nq;
+  const double topk_ops = static_cast<double>(totals.topk_pushes +
+                                              totals.topk_evictions) /
+                          nq;
+  const double tests = static_cast<double>(totals.visited_tests) / nq;
+  const double inserts = static_cast<double>(totals.visited_insertions) / nq;
+  const double deletes = static_cast<double>(totals.visited_deletions) / nq;
+
+  const double heap_cost =
+      (Log2Ceil(static_cast<double>(shape.queue_size) + 1.0) + 1.0) *
+      spec_.shared_latency_cycles;
+  const double visited_latency = visited_fits ? spec_.shared_latency_cycles
+                                              : spec_.global_latency_cycles;
+  // Structure-dependent probe widths: Bloom touches num_hashes words,
+  // Cuckoo two buckets, open addressing ~1 warp-parallel probe.
+  double probe_factor = 1.0;
+  if (shape.structure == VisitedStructure::kBloomFilter) probe_factor = 7.0;
+  if (shape.structure == VisitedStructure::kCuckooFilter) probe_factor = 2.0;
+
+  // ---- Stage chains (cycles per query). ----
+  // Stage 1: dependent graph-row fetches (divergent across the mq queries of
+  // a warp, so they serialize), queue pops, visited tests during gather
+  // (warp-parallel probing hides ~4x).
+  const double locate_cycles =
+      rows * spec_.global_latency_cycles * static_cast<double>(mq) +
+      pops * heap_cost + tests * probe_factor * visited_latency / 4.0;
+
+  // Stage 2: warp-reduction distances: each candidate streams point_bytes
+  // over 32/mq lanes (1 cycle per 4B lane-load once the pipeline is primed),
+  // one reduction (log2(32) shuffle steps) and one latency exposure per
+  // candidate batch row.
+  const double lanes = 32.0 / static_cast<double>(mq);
+  const double bytes_per_cand = static_cast<double>(shape.point_bytes);
+  // Per candidate: one 4-byte lane load every cycle group (~4 cycles issue
+  // + dependency per load), the log2(32) shuffle reduction, and a partially
+  // hidden latency exposure for the first line of the vector.
+  const double distance_cycles =
+      cands * (bytes_per_cand / lanes + 5.0 +
+               spec_.global_latency_cycles / 8.0);
+
+  // Stage 3: single-thread heap/hash maintenance on shared (or spilled)
+  // structures.
+  const double maintain_cycles =
+      (pushes + topk_ops) * heap_cost +
+      (inserts + deletes) * probe_factor * visited_latency +
+      cands * spec_.shared_latency_cycles / 2.0;  // dist-array reads
+
+  // Per-warp chain: stage-1 serialization and stage-2 lane narrowing are
+  // already baked into the per-query cycles above; stage-3 runs SIMT-lockstep
+  // across the mq queries of the warp. Saturated mode spreads warps
+  // continuously over the resident slots; exact-batch mode pays whole waves
+  // (an underfilled last wave still costs a full chain).
+  const double chain_cycles = locate_cycles + distance_cycles +
+                              maintain_cycles;
+  double waves = num_warps / resident;
+  if (!shape.saturated) waves = std::ceil(waves);
+  const double chain_seconds = chain_cycles * waves / clock_hz;
+
+  // ---- Throughput floors. ----
+  double global_bytes = static_cast<double>(totals.graph_bytes_loaded +
+                                            totals.data_bytes_loaded);
+  if (!visited_fits) {
+    // Each spilled visited access touches one 32B sector.
+    global_bytes += (static_cast<double>(totals.visited_tests +
+                                         totals.visited_insertions +
+                                         totals.visited_deletions)) *
+                    32.0;
+  }
+  const double mem_seconds =
+      global_bytes / (spec_.mem_bandwidth_gbps * spec_.mem_efficiency * 1e9);
+
+  const double flops = static_cast<double>(totals.distance_computations) *
+                       static_cast<double>(shape.point_bytes) / 4.0 * 3.0;
+  const double compute_seconds =
+      flops / (static_cast<double>(spec_.TotalCores()) * clock_hz * 2.0);
+
+  // Launch overhead: negligible for deep batches, visible at batch ~100.
+  constexpr double kLaunchSeconds = 20e-6;
+  const double kernel_seconds =
+      std::max({chain_seconds, mem_seconds, compute_seconds}) +
+      kLaunchSeconds;
+
+  // Attribute kernel time to stages proportionally to their chain shares
+  // (the paper's Fig 10 shows exactly this attribution).
+  const double scale = kernel_seconds / std::max(chain_seconds, 1e-30);
+  out.locate_seconds =
+      locate_cycles / chain_cycles * chain_seconds * scale;
+  out.distance_seconds =
+      distance_cycles / chain_cycles * chain_seconds * scale;
+  out.maintain_seconds =
+      maintain_cycles / chain_cycles * chain_seconds * scale;
+  out.kernel_seconds = kernel_seconds;
+
+  // ---- PCIe transfers. ----
+  const double query_bytes = nq * static_cast<double>(shape.dim) *
+                             sizeof(float);
+  const double result_bytes =
+      nq * static_cast<double>(shape.k) * sizeof(Neighbor);
+  out.htod_seconds = query_bytes / (spec_.pcie_gbps * 1e9) +
+                     spec_.pcie_latency_s;
+  out.dtoh_seconds = result_bytes / (spec_.pcie_gbps * 1e9) +
+                     spec_.pcie_latency_s;
+  out.total_seconds = out.kernel_seconds + out.htod_seconds +
+                      out.dtoh_seconds;
+  return out;
+}
+
+}  // namespace song

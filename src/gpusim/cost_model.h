@@ -1,0 +1,118 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// Analytic GPU cost model. The SONG search executes natively (so recall,
+// visit order and every counter are exact); this model converts the measured
+// warp-level work — coalesced row fetches, bulk-distance reductions,
+// thread-0 heap/hash operations — into simulated kernel seconds for a given
+// GpuSpec, plus PCIe transfer times (HtoD queries / DtoH results).
+//
+// Modeling assumptions (documented for reproducibility):
+//  * Each query group (multi_query queries) occupies one warp; a query's
+//    iterations form a dependent chain (graph row fetch -> bulk distance ->
+//    maintenance), so per-query cycles add up along the chain.
+//  * Warps from different queries overlap: chain time is divided by the
+//    number of concurrently resident warps (occupancy), which is limited by
+//    the per-warp shared-memory footprint (query vector, heaps, candidate
+//    buffers, and the visited structure when it fits).
+//  * The kernel cannot run faster than global-memory bandwidth allows
+//    (graph rows + candidate vectors + spilled hash traffic) nor faster
+//    than the FMA throughput of the distance computations.
+//  * A visited structure that exceeds the per-query shared budget spills to
+//    global memory and pays global (not shared) latency per probe — this is
+//    what makes the un-deleted hash table collapse at large queue sizes
+//    (paper Fig 7, NYTimes).
+
+#ifndef SONG_GPUSIM_COST_MODEL_H_
+#define SONG_GPUSIM_COST_MODEL_H_
+
+#include <cstddef>
+
+#include "gpusim/gpu_spec.h"
+#include "song/search_options.h"
+
+namespace song {
+
+/// Static description of the workload a kernel launch processes.
+struct WorkloadShape {
+  size_t num_queries = 0;
+  size_t dim = 0;         ///< floats per point (or bits/32 words for hashed)
+  size_t point_bytes = 0; ///< bytes fetched per candidate vector
+  size_t k = 10;
+  size_t queue_size = 64;
+  size_t degree = 16;
+  size_t multi_query = 1;
+  size_t multi_step = 1;
+  VisitedStructure structure = VisitedStructure::kHashTable;
+  /// true (default): report saturated throughput — the steady-state rate of
+  /// a deep batch (the paper's 10k-1m query batches). false: model this
+  /// exact batch size, quantizing work into whole waves of resident warps
+  /// (a 100-query batch occupies one underfilled wave and pays its full
+  /// chain latency) — used by the Fig 11 batch-size experiment.
+  bool saturated = true;
+};
+
+struct KernelBreakdown {
+  // Per-stage shares of the kernel chain (seconds).
+  double locate_seconds = 0.0;
+  double distance_seconds = 0.0;
+  double maintain_seconds = 0.0;
+  double kernel_seconds = 0.0;
+  double htod_seconds = 0.0;
+  double dtoh_seconds = 0.0;
+  double total_seconds = 0.0;
+
+  double resident_warps = 0.0;
+  bool visited_in_shared = true;
+  double shared_bytes_per_warp = 0.0;
+
+  double Qps(size_t num_queries) const {
+    return total_seconds > 0.0
+               ? static_cast<double>(num_queries) / total_seconds
+               : 0.0;
+  }
+  double LocatePct() const {
+    return kernel_seconds > 0.0 ? 100.0 * locate_seconds / kernel_seconds
+                                : 0.0;
+  }
+  double DistancePct() const {
+    return kernel_seconds > 0.0 ? 100.0 * distance_seconds / kernel_seconds
+                                : 0.0;
+  }
+  double MaintainPct() const {
+    return kernel_seconds > 0.0 ? 100.0 * maintain_seconds / kernel_seconds
+                                : 0.0;
+  }
+  double HtodPct() const {
+    return total_seconds > 0.0 ? 100.0 * htod_seconds / total_seconds : 0.0;
+  }
+  double KernelPct() const {
+    return total_seconds > 0.0 ? 100.0 * kernel_seconds / total_seconds : 0.0;
+  }
+  double DtohPct() const {
+    return total_seconds > 0.0 ? 100.0 * dtoh_seconds / total_seconds : 0.0;
+  }
+};
+
+class CostModel {
+ public:
+  explicit CostModel(const GpuSpec& spec) : spec_(spec) {}
+
+  /// Converts batch-aggregate counters into a simulated execution profile.
+  KernelBreakdown Estimate(const SearchStats& totals,
+                           const WorkloadShape& shape) const;
+
+  /// Per-query shared-memory footprint (bytes): query vector + heaps +
+  /// candidate/dist staging (+ visited structure when `include_visited`).
+  double SharedBytesPerQuery(const WorkloadShape& shape,
+                             size_t visited_bytes,
+                             bool include_visited) const;
+
+  const GpuSpec& spec() const { return spec_; }
+
+ private:
+  GpuSpec spec_;
+};
+
+}  // namespace song
+
+#endif  // SONG_GPUSIM_COST_MODEL_H_

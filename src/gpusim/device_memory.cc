@@ -1,0 +1,77 @@
+#include "gpusim/device_memory.h"
+
+#include <cstdio>
+
+#include "core/types.h"
+
+namespace song {
+
+namespace {
+
+size_t WorkingBytes(const DeploymentShape& shape) {
+  // Per resident query: query vector + bounded heaps (3*queue Neighbors) +
+  // visited table (2*queue entries at 2x slots) + staging.
+  const size_t per_query = shape.dim * sizeof(float) +
+                           3 * shape.queue_size * 8 +
+                           4 * shape.queue_size * sizeof(idx_t) + 512;
+  return shape.resident_queries * per_query;
+}
+
+}  // namespace
+
+MemoryPlan PlanDeployment(const DeploymentShape& shape, const GpuSpec& spec) {
+  MemoryPlan plan;
+  plan.capacity_bytes = DeviceCapacityBytes(spec);
+  plan.data_bytes = shape.num_points * shape.dim * sizeof(float);
+  plan.graph_bytes = shape.num_points * shape.graph_degree * sizeof(idx_t);
+  plan.working_bytes = WorkingBytes(shape);
+  plan.total_bytes = plan.data_bytes + plan.graph_bytes + plan.working_bytes;
+  plan.fits = plan.total_bytes <= plan.capacity_bytes;
+  if (plan.fits) return plan;
+
+  // Remedy 1: 1-bit random projections (§VII) — the graph and working set
+  // stay, the data shrinks to bits/8 per point.
+  for (size_t bits = 32; bits <= 4096; bits *= 2) {
+    const size_t hashed_data = shape.num_points * (bits / 8);
+    if (hashed_data + plan.graph_bytes + plan.working_bytes <=
+        plan.capacity_bytes) {
+      plan.hash_bits_needed = bits;
+      break;
+    }
+  }
+
+  // Remedy 2: shard across S identical cards (the §VII closing remark).
+  for (size_t shards = 2; shards <= 1024; ++shards) {
+    const size_t shard_total =
+        plan.data_bytes / shards + plan.graph_bytes / shards +
+        plan.working_bytes;  // each card serves the full query stream
+    if (shard_total <= plan.capacity_bytes) {
+      plan.shards_needed = shards;
+      break;
+    }
+  }
+  return plan;
+}
+
+std::string MemoryPlan::ToString() const {
+  char buf[512];
+  const double gb = 1024.0 * 1024.0 * 1024.0;
+  std::snprintf(
+      buf, sizeof(buf),
+      "data %.2f GB + graph %.2f GB + working %.2f GB = %.2f GB vs "
+      "capacity %.2f GB -> %s%s%s",
+      data_bytes / gb, graph_bytes / gb, working_bytes / gb, total_bytes / gb,
+      capacity_bytes / gb, fits ? "fits" : "DOES NOT FIT",
+      !fits && hash_bits_needed > 0
+          ? (", hashing to " + std::to_string(hash_bits_needed) +
+             " bits fits")
+                .c_str()
+          : "",
+      !fits && shards_needed > 0
+          ? (", or shard across " + std::to_string(shards_needed) + " cards")
+                .c_str()
+          : "");
+  return buf;
+}
+
+}  // namespace song

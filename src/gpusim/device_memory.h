@@ -1,0 +1,65 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// Device-memory planning (paper §VII): decides whether a deployment —
+// dataset + graph index + per-query working set — fits a card, and if not,
+// which remedies apply (1-bit hashing at some bit width, or sharding across
+// cards). This is the planning logic behind the paper's MNIST8m story:
+// 24 GB of floats cannot fit TITAN X's 12 GB, the degree-16 graph index
+// always fits ("it is sufficient to use 16 for the degree — the graph index
+// is under 1 GB for millions of data points"), and 128-bit codes shrink the
+// data 196x.
+
+#ifndef SONG_GPUSIM_DEVICE_MEMORY_H_
+#define SONG_GPUSIM_DEVICE_MEMORY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gpusim/gpu_spec.h"
+
+namespace song {
+
+/// Memory capacities of the paper's three cards (GpuSpec models the SM /
+/// bandwidth side; capacity lives here to keep the spec struct focused).
+inline size_t DeviceCapacityBytes(const GpuSpec& spec) {
+  if (spec.name == "V100") return 32ull << 30;
+  if (spec.name == "P40") return 24ull << 30;
+  if (spec.name == "TITAN X") return 12ull << 30;
+  return 16ull << 30;
+}
+
+struct DeploymentShape {
+  size_t num_points = 0;
+  size_t dim = 0;
+  size_t graph_degree = 16;
+  /// Concurrent queries resident on the card (shared/working memory is tiny
+  /// compared to data but included for completeness).
+  size_t resident_queries = 10000;
+  size_t queue_size = 128;
+};
+
+struct MemoryPlan {
+  size_t data_bytes = 0;
+  size_t graph_bytes = 0;
+  size_t working_bytes = 0;
+  size_t total_bytes = 0;
+  size_t capacity_bytes = 0;
+  bool fits = false;
+
+  /// Smallest power-of-two hash width (>= 32 bits) that makes the hashed
+  /// deployment fit, or 0 if even 32-bit codes do not help.
+  size_t hash_bits_needed = 0;
+  /// Smallest shard count that makes each shard fit unhashed.
+  size_t shards_needed = 0;
+
+  std::string ToString() const;
+};
+
+/// Plans a full-precision deployment on `spec`; when it does not fit,
+/// fills in the hashing / sharding remedies.
+MemoryPlan PlanDeployment(const DeploymentShape& shape, const GpuSpec& spec);
+
+}  // namespace song
+
+#endif  // SONG_GPUSIM_DEVICE_MEMORY_H_

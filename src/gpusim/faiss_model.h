@@ -1,0 +1,78 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// GPU cost model for the IVFPQ baseline (the paper's "Faiss-IVFPQ"). The
+// quantization scan has almost no instruction dependencies — exactly why
+// Faiss parallelizes so well on GPUs — so its kernel time is the max of
+// three throughput terms: streaming the packed codes, computing the ADC
+// tables + coarse distances, and the per-code lookup-accumulate-select work.
+
+#ifndef SONG_GPUSIM_FAISS_MODEL_H_
+#define SONG_GPUSIM_FAISS_MODEL_H_
+
+#include <algorithm>
+#include <cstddef>
+
+#include "baselines/ivfpq.h"
+#include "gpusim/gpu_spec.h"
+
+namespace song {
+
+struct FaissGpuEstimate {
+  double kernel_seconds = 0.0;
+  double htod_seconds = 0.0;
+  double dtoh_seconds = 0.0;
+  double total_seconds = 0.0;
+  double Qps(size_t num_queries) const {
+    return total_seconds > 0.0
+               ? static_cast<double>(num_queries) / total_seconds
+               : 0.0;
+  }
+};
+
+/// Prices a batch of IVFPQ searches on `spec`. `dim` is the original vector
+/// dimensionality (drives the coarse quantizer and HtoD), `pq_m` the code
+/// bytes, `k` the result count.
+inline FaissGpuEstimate EstimateFaissGpu(const IvfPqSearchStats& stats,
+                                         const GpuSpec& spec, size_t dim,
+                                         size_t pq_m, size_t k) {
+  FaissGpuEstimate out;
+  const double nq = static_cast<double>(std::max<size_t>(1, stats.queries));
+  const double clock_hz = spec.clock_ghz * 1e9;
+  const double cores = static_cast<double>(spec.TotalCores());
+
+  // Memory: packed codes + ids stream sequentially (high efficiency).
+  const double scan_bytes =
+      static_cast<double>(stats.codes_scanned) *
+      (static_cast<double>(pq_m) + sizeof(idx_t));
+  const double mem_seconds =
+      scan_bytes / (spec.mem_bandwidth_gbps * 0.85 * 1e9);
+
+  // Compute: coarse distances + ADC table construction (FMA-bound) plus the
+  // scan itself (one shared-memory gather + add per code byte, plus k-select
+  // overhead amortized to ~2 ops per code).
+  const double fma_flops =
+      static_cast<double>(stats.coarse_distances) * dim * 2.0 +
+      static_cast<double>(stats.table_entries) *
+          (static_cast<double>(dim) / static_cast<double>(pq_m)) * 2.0;
+  const double scan_ops = static_cast<double>(stats.codes_scanned) *
+                          (static_cast<double>(pq_m) + 2.0);
+  const double compute_seconds =
+      fma_flops / (cores * clock_hz * 2.0) + scan_ops / (cores * clock_hz);
+
+  // Launch overhead per batch.
+  constexpr double kLaunchSeconds = 20e-6;
+
+  out.kernel_seconds =
+      std::max(mem_seconds, compute_seconds) + kLaunchSeconds;
+  out.htod_seconds =
+      nq * dim * sizeof(float) / (spec.pcie_gbps * 1e9) + spec.pcie_latency_s;
+  out.dtoh_seconds =
+      nq * k * 8.0 / (spec.pcie_gbps * 1e9) + spec.pcie_latency_s;
+  out.total_seconds = out.kernel_seconds + out.htod_seconds +
+                      out.dtoh_seconds;
+  return out;
+}
+
+}  // namespace song
+
+#endif  // SONG_GPUSIM_FAISS_MODEL_H_

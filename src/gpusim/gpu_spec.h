@@ -1,0 +1,80 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// Hardware descriptions of the three GPUs the paper evaluates (§VIII-G):
+// NVIDIA TESLA V100, TESLA P40 and TITAN X. The cost model combines these
+// constants with the warp-level work counters collected by the searcher to
+// produce simulated kernel times — the substitution for physical CUDA
+// execution documented in DESIGN.md §1.
+
+#ifndef SONG_GPUSIM_GPU_SPEC_H_
+#define SONG_GPUSIM_GPU_SPEC_H_
+
+#include <cstddef>
+#include <string>
+
+namespace song {
+
+struct GpuSpec {
+  std::string name;
+  size_t num_sms = 0;
+  size_t cores_per_sm = 0;
+  double clock_ghz = 0.0;
+  /// Peak global-memory bandwidth (GB/s) and the fraction achievable by the
+  /// kernel's scattered row/vector reads.
+  double mem_bandwidth_gbps = 0.0;
+  double mem_efficiency = 0.55;
+  /// Latencies in core cycles.
+  double global_latency_cycles = 450.0;
+  double shared_latency_cycles = 28.0;
+  /// Configurable L1/shared capacity per SM (paper §II: 96 KB on Volta).
+  size_t shared_mem_per_sm = 96 * 1024;
+  size_t max_warps_per_sm = 64;
+  /// Host<->device link (effective PCIe 3.0 x16) and per-transfer latency.
+  double pcie_gbps = 12.0;
+  double pcie_latency_s = 10e-6;
+
+  size_t TotalCores() const { return num_sms * cores_per_sm; }
+
+  static GpuSpec V100() {
+    GpuSpec s;
+    s.name = "V100";
+    s.num_sms = 80;
+    s.cores_per_sm = 64;
+    s.clock_ghz = 1.53;
+    s.mem_bandwidth_gbps = 900.0;
+    s.global_latency_cycles = 440.0;
+    s.shared_latency_cycles = 26.0;
+    s.shared_mem_per_sm = 96 * 1024;
+    return s;
+  }
+
+  static GpuSpec P40() {
+    GpuSpec s;
+    s.name = "P40";
+    s.num_sms = 30;
+    s.cores_per_sm = 128;
+    s.clock_ghz = 1.53;
+    s.mem_bandwidth_gbps = 346.0;
+    s.global_latency_cycles = 500.0;
+    s.shared_latency_cycles = 30.0;
+    s.shared_mem_per_sm = 96 * 1024;
+    return s;
+  }
+
+  static GpuSpec TitanX() {
+    GpuSpec s;
+    s.name = "TITAN X";
+    s.num_sms = 28;
+    s.cores_per_sm = 128;
+    s.clock_ghz = 1.42;
+    s.mem_bandwidth_gbps = 480.0;
+    s.global_latency_cycles = 500.0;
+    s.shared_latency_cycles = 30.0;
+    s.shared_mem_per_sm = 96 * 1024;
+    return s;
+  }
+};
+
+}  // namespace song
+
+#endif  // SONG_GPUSIM_GPU_SPEC_H_

@@ -1,0 +1,124 @@
+#include "gpusim/sharded.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/logging.h"
+#include "core/thread_pool.h"
+#include "core/timer.h"
+
+namespace song {
+
+ShardedSongIndex::ShardedSongIndex(const Dataset* data, Metric metric,
+                                   const ShardedBuildOptions& options)
+    : full_data_(data), metric_(metric) {
+  SONG_CHECK(data != nullptr);
+  const size_t n = data->num();
+  const size_t num_shards =
+      std::max<size_t>(1, std::min(options.num_shards, n));
+  const size_t per_shard = (n + num_shards - 1) / num_shards;
+
+  for (size_t s = 0; s < num_shards; ++s) {
+    const size_t begin = s * per_shard;
+    const size_t end = std::min(n, begin + per_shard);
+    if (begin >= end) break;
+    auto shard = std::make_unique<Shard>();
+    shard->data = Dataset(end - begin, data->dim());
+    shard->global_ids.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      shard->data.SetRow(static_cast<idx_t>(i - begin),
+                         data->Row(static_cast<idx_t>(i)));
+      shard->global_ids.push_back(static_cast<idx_t>(i));
+    }
+    NswBuildOptions nsw = options.nsw;
+    if (nsw.num_threads == 0) nsw.num_threads = options.num_threads;
+    shard->graph = NswBuilder::Build(shard->data, metric, nsw);
+    shard->searcher = std::make_unique<SongSearcher>(&shard->data,
+                                                     &shard->graph, metric);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedSearchResult ShardedSongIndex::Search(
+    const Dataset& queries, size_t k, const SongSearchOptions& options,
+    size_t num_threads) const {
+  ShardedSearchResult out;
+  out.results.resize(queries.num());
+  out.shard_stats.resize(shards_.size());
+
+  // Per-shard candidate lists, merged per query afterwards.
+  std::vector<std::vector<std::vector<Neighbor>>> shard_results(
+      shards_.size());
+  Timer timer;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shard_results[s].resize(queries.num());
+    SearchStats& stats = out.shard_stats[s];
+    std::vector<SongWorkspace> workspaces(
+        std::max<size_t>(1, num_threads == 0 ? 1 : num_threads));
+    std::vector<SearchStats> thread_stats(workspaces.size());
+    ParallelFor(queries.num(), workspaces.size(), [&](size_t q, size_t t) {
+      shard_results[s][q] = shards_[s]->searcher->Search(
+          queries.Row(static_cast<idx_t>(q)), k, options, &workspaces[t],
+          &thread_stats[t]);
+    });
+    for (const SearchStats& ts : thread_stats) stats.Add(ts);
+  }
+
+  // k-way merge with global id translation.
+  for (size_t q = 0; q < queries.num(); ++q) {
+    std::vector<Neighbor> merged;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      for (const Neighbor& n : shard_results[s][q]) {
+        merged.emplace_back(n.dist, shards_[s]->global_ids[n.id]);
+      }
+    }
+    std::sort(merged.begin(), merged.end());
+    if (merged.size() > k) merged.resize(k);
+    out.results[q] = std::move(merged);
+  }
+  out.wall_seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+ShardedGpuEstimate ShardedSongIndex::EstimateGpu(
+    const ShardedSearchResult& result, const std::vector<GpuSpec>& gpus,
+    size_t num_queries, size_t k, const SongSearchOptions& options) const {
+  SONG_CHECK_MSG(gpus.size() == shards_.size(),
+                 "one GpuSpec per shard required");
+  ShardedGpuEstimate est;
+  est.shard_kernel_seconds.resize(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    WorkloadShape shape;
+    shape.num_queries = num_queries;
+    shape.dim = full_data_->dim();
+    shape.point_bytes = shape.dim * sizeof(float);
+    shape.k = k;
+    shape.queue_size = std::max(options.queue_size, k);
+    shape.degree = shards_[s]->graph.degree();
+    shape.multi_query = options.multi_query;
+    shape.multi_step = options.multi_step_probe;
+    shape.structure = options.structure;
+    CostModel model(gpus[s]);
+    const KernelBreakdown b = model.Estimate(result.shard_stats[s], shape);
+    est.shard_kernel_seconds[s] = b.kernel_seconds;
+    est.kernel_seconds = std::max(est.kernel_seconds, b.kernel_seconds);
+    // Transfers happen per card but concurrently; keep the slowest link's
+    // cost (all presets share the PCIe numbers, so this is that of card 0).
+    est.htod_seconds = std::max(
+        est.htod_seconds,
+        num_queries * shape.dim * sizeof(float) / (gpus[s].pcie_gbps * 1e9) +
+            gpus[s].pcie_latency_s);
+    est.dtoh_seconds = std::max(
+        est.dtoh_seconds,
+        num_queries * k * sizeof(Neighbor) / (gpus[s].pcie_gbps * 1e9) +
+            gpus[s].pcie_latency_s);
+  }
+  // Host merge: S*k candidates per query, ~20 ns per element on the host.
+  est.merge_seconds = static_cast<double>(num_queries) *
+                      static_cast<double>(shards_.size() * k) * 20e-9;
+  est.total_seconds = est.kernel_seconds + est.htod_seconds +
+                      est.dtoh_seconds + est.merge_seconds;
+  return est;
+}
+
+}  // namespace song

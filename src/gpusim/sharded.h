@@ -1,0 +1,100 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// Multi-GPU sharding (paper §VII, last paragraph): "when multiple GPUs are
+// considered, we can shard the data for each GPU, build a graph index for
+// each shard, perform graph search on each GPU and merge the results."
+// This module implements exactly that deployment: contiguous shards, one
+// NSW index per shard, per-shard SONG search (each priced on its own
+// GpuSpec), and a host-side top-k merge. The cards run in parallel, so the
+// simulated batch time is the slowest shard's kernel plus the shared
+// transfer costs.
+
+#ifndef SONG_GPUSIM_SHARDED_H_
+#define SONG_GPUSIM_SHARDED_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/distance.h"
+#include "gpusim/cost_model.h"
+#include "gpusim/gpu_spec.h"
+#include "graph/fixed_degree_graph.h"
+#include "graph/nsw_builder.h"
+#include "song/search_options.h"
+#include "song/song_searcher.h"
+
+namespace song {
+
+struct ShardedBuildOptions {
+  size_t num_shards = 2;
+  NswBuildOptions nsw;
+  size_t num_threads = 0;
+};
+
+struct ShardedSearchResult {
+  /// Merged global-id results per query.
+  std::vector<std::vector<Neighbor>> results;
+  /// Per-shard aggregate counters.
+  std::vector<SearchStats> shard_stats;
+  double wall_seconds = 0.0;
+};
+
+struct ShardedGpuEstimate {
+  /// Per-shard kernel seconds (cards run concurrently).
+  std::vector<double> shard_kernel_seconds;
+  double kernel_seconds = 0.0;  ///< max over shards
+  double htod_seconds = 0.0;    ///< queries broadcast to every card
+  double dtoh_seconds = 0.0;    ///< every card returns k candidates
+  double merge_seconds = 0.0;   ///< host-side k-way merge
+  double total_seconds = 0.0;
+  double Qps(size_t num_queries) const {
+    return total_seconds > 0.0
+               ? static_cast<double>(num_queries) / total_seconds
+               : 0.0;
+  }
+};
+
+/// A SONG deployment sharded across multiple (simulated) GPUs.
+class ShardedSongIndex {
+ public:
+  /// Splits `data` into contiguous shards and builds one NSW graph per
+  /// shard. `data` must outlive the index.
+  ShardedSongIndex(const Dataset* data, Metric metric,
+                   const ShardedBuildOptions& options);
+
+  size_t num_shards() const { return shards_.size(); }
+  const Dataset& shard_data(size_t s) const { return shards_[s]->data; }
+  const FixedDegreeGraph& shard_graph(size_t s) const {
+    return shards_[s]->graph;
+  }
+
+  /// Searches every shard and merges the per-shard top-k into global-id
+  /// results.
+  ShardedSearchResult Search(const Dataset& queries, size_t k,
+                             const SongSearchOptions& options,
+                             size_t num_threads = 0) const;
+
+  /// Prices a ShardedSearchResult on one GpuSpec per shard (`gpus.size()`
+  /// must equal num_shards()).
+  ShardedGpuEstimate EstimateGpu(const ShardedSearchResult& result,
+                                 const std::vector<GpuSpec>& gpus,
+                                 size_t num_queries, size_t k,
+                                 const SongSearchOptions& options) const;
+
+ private:
+  struct Shard {
+    Dataset data;                 // copy of the shard's rows
+    std::vector<idx_t> global_ids;  // shard-local id -> global id
+    FixedDegreeGraph graph;
+    std::unique_ptr<SongSearcher> searcher;
+  };
+
+  const Dataset* full_data_;
+  Metric metric_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace song
+
+#endif  // SONG_GPUSIM_SHARDED_H_

@@ -1,0 +1,223 @@
+#include "gpusim/simt_kernel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/logging.h"
+
+namespace song {
+
+namespace {
+
+// Raw open-addressing slot array probed with the warp primitive — the
+// layout the CUDA kernel keeps in shared (or global) memory. Each call
+// names the warp issuing the probe so the cycles land in the right stage
+// ledger.
+class WarpVisitedTable {
+ public:
+  static constexpr idx_t kEmpty = kInvalidIdx;
+  static constexpr idx_t kTombstone = kInvalidIdx - 1;
+
+  explicit WarpVisitedTable(size_t capacity) : capacity_(capacity) {
+    size_t slots = 32;
+    while (slots < 2 * capacity) slots <<= 1;
+    slots_.assign(slots, kEmpty);
+  }
+
+  bool Test(idx_t key, SimtWarp* warp) const {
+    const size_t pos = warp->ParallelProbe(slots_.data(), slots_.size(),
+                                           Home(key), key, kEmpty);
+    return pos < slots_.size() && slots_[pos] == key;
+  }
+
+  bool Insert(idx_t key, SimtWarp* warp) {
+    if (size_ >= capacity_) return false;
+    // Single probe pass: stops at the key or the first empty slot, reusing
+    // the first tombstone passed on the way (a tombstone beyond the
+    // stopping empty must NOT be used — later probes for the key would
+    // stop at the empty and miss it).
+    const SimtWarp::ProbeInsertResult probe = warp->ParallelProbeInsert(
+        slots_.data(), slots_.size(), Home(key), key, kEmpty, kTombstone);
+    if (probe.found_key) return false;
+    if (probe.insert_slot >= slots_.size()) return false;
+    slots_[probe.insert_slot] = key;
+    ++size_;
+    return true;
+  }
+
+  void Erase(idx_t key, SimtWarp* warp) {
+    const size_t pos = warp->ParallelProbe(slots_.data(), slots_.size(),
+                                           Home(key), key, kEmpty);
+    if (pos < slots_.size() && slots_[pos] == key) {
+      slots_[pos] = kTombstone;
+      --size_;
+    }
+  }
+
+  size_t size() const { return size_; }
+
+ private:
+  size_t Home(idx_t key) const {
+    uint64_t x = key;
+    x *= 0x9e3779b97f4a7c15ULL;
+    x ^= x >> 29;
+    return static_cast<size_t>(x) & (slots_.size() - 1);
+  }
+
+  std::vector<idx_t> slots_;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+};
+
+// Heap cycle cost on thread 0: one shared access per touched level.
+size_t HeapLevels(size_t n) {
+  size_t levels = 1;
+  while (n > 1) {
+    n >>= 1;
+    ++levels;
+  }
+  return levels;
+}
+
+}  // namespace
+
+SimtSongKernel::SimtSongKernel(const Dataset* data,
+                               const FixedDegreeGraph* graph, Metric metric,
+                               idx_t entry, const GpuSpec& spec)
+    : data_(data), graph_(graph), metric_(metric), entry_(entry),
+      spec_(spec) {
+  SONG_CHECK(data != nullptr && graph != nullptr);
+  SONG_CHECK_MSG(metric != Metric::kCosine,
+                 "SimtSongKernel: normalize rows and use kInnerProduct");
+  SONG_CHECK(data->num() == graph->num_vertices());
+}
+
+SimtKernelResult SimtSongKernel::Search(
+    const float* query, size_t k, const SongSearchOptions& options) const {
+  const size_t ef = std::max(options.queue_size, k);
+  const size_t dim = data_->dim();
+  const size_t degree = graph_->degree();
+  const size_t mq = std::max<size_t>(1, options.multi_query);
+  const size_t lanes = SimtWarp::kWarpSize / mq;
+  const size_t multi_step = std::max<size_t>(1, options.multi_step_probe);
+
+  CycleCounter locate(spec_), distance(spec_), maintain(spec_);
+  SimtWarp locate_warp(&locate);
+  SimtWarp distance_warp(&distance);
+  SimtWarp maintain_warp(&maintain);
+
+  const size_t visited_capacity =
+      options.visited_deletion ? 2 * ef + 64
+      : options.selected_insertion
+          ? std::min(16 * ef + 256, data_->num() + 1)
+          : std::min(64 * ef + 1024, data_->num() + 1);
+  WarpVisitedTable visited(visited_capacity);
+
+  SymmetricMinMaxHeap q(ef);
+  BoundedMaxHeap topk(ef);
+
+  auto heap_cost = [&](CycleCounter* c, size_t heap_size) {
+    c->SharedAccess(HeapLevels(heap_size + 1));
+    c->Alu(HeapLevels(heap_size + 1));
+  };
+
+  auto reduce = [&](const float* point) {
+    return metric_ == Metric::kL2
+               ? distance_warp.ReduceL2(query, point, dim, lanes)
+               : distance_warp.ReduceInnerProduct(query, point, dim, lanes);
+  };
+
+  SimtKernelResult result;
+
+  // Init: entry distance + structure seeds.
+  const float entry_dist = reduce(data_->Row(entry_));
+  ++result.distance_computations;
+  visited.Insert(entry_, &maintain_warp);
+  q.Push(Neighbor(entry_dist, entry_));
+  heap_cost(&maintain, q.size());
+
+  std::vector<idx_t> candidates;
+  std::vector<float> dists;
+  candidates.reserve(degree * multi_step);
+
+  while (!q.empty()) {
+    ++result.iterations;
+    candidates.clear();
+
+    // ---- Stage 1: candidate locating. ----
+    bool terminate = false;
+    for (size_t step = 0; step < multi_step && !q.empty(); ++step) {
+      const Neighbor now = q.Min();
+      heap_cost(&locate, q.size());
+      if (topk.full() && now.dist > topk.Max().dist) {
+        if (step == 0) terminate = true;
+        break;
+      }
+      q.PopMin();
+      Neighbor evicted;
+      const bool had_eviction = topk.full();
+      const bool entered = topk.PushBounded(now, &evicted);
+      heap_cost(&locate, topk.size());
+      if (entered && had_eviction && options.visited_deletion) {
+        visited.Erase(evicted.id, &locate_warp);
+      }
+
+      const idx_t* row = graph_->Row(now.id);
+      locate.GlobalLoad(reinterpret_cast<uintptr_t>(row),
+                        degree * sizeof(idx_t));
+      for (size_t i = 0; i < degree && row[i] != kInvalidIdx; ++i) {
+        const idx_t v = row[i];
+        if (visited.Test(v, &locate_warp)) continue;
+        bool duplicate = false;
+        for (const idx_t c : candidates) duplicate |= (c == v);
+        if (!duplicate) candidates.push_back(v);
+      }
+    }
+    if (terminate) break;
+    if (candidates.empty()) continue;
+
+    // ---- Stage 2: bulk distance computation via warp reductions. ----
+    dists.resize(candidates.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      dists[i] = reduce(data_->Row(candidates[i]));
+    }
+    result.distance_computations += candidates.size();
+
+    // ---- Stage 3: maintenance on thread 0 (mark before enqueue, exactly
+    // as the host pipeline — see search_core.h). ----
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      const Neighbor cand(dists[i], candidates[i]);
+      maintain.SharedAccess(1);  // read dist[i] from shared staging
+      if (options.selected_insertion && topk.full() &&
+          cand.dist > topk.Max().dist) {
+        continue;
+      }
+      if (!visited.Insert(cand.id, &maintain_warp)) continue;
+      Neighbor evicted;
+      const bool had_eviction = q.full();
+      const bool accepted = q.PushBounded(cand, &evicted);
+      heap_cost(&maintain, q.size());
+      if (!accepted) {
+        if (options.visited_deletion) {
+          visited.Erase(cand.id, &maintain_warp);
+        }
+        continue;
+      }
+      if (had_eviction && options.visited_deletion) {
+        visited.Erase(evicted.id, &maintain_warp);
+      }
+    }
+  }
+
+  result.topk = topk.TakeSorted();
+  if (result.topk.size() > k) result.topk.resize(k);
+  result.locate_cycles = locate.TotalCycles();
+  result.distance_cycles = distance.TotalCycles();
+  result.maintain_cycles = maintain.TotalCycles();
+  result.global_bytes = locate.GlobalBytes() + distance.GlobalBytes() +
+                        maintain.GlobalBytes();
+  return result;
+}
+
+}  // namespace song

@@ -1,0 +1,67 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// A full SONG search executed through the lane-level warp primitives of
+// gpusim/simt_warp.h — the closest thing to running the CUDA kernel without
+// a GPU. Stage-by-stage cycle ledgers (candidate locating / bulk distance /
+// maintenance) come from the executed instruction stream rather than from
+// the analytic model, so the two can be cross-validated (see tests and the
+// bench_fig10 discussion in EXPERIMENTS.md).
+//
+// Scope: the hash-table visited structure (with the §IV-D/E optimizations);
+// the Bloom/Cuckoo alternatives only change stage-3 probe costs and are
+// covered by the analytic model.
+
+#ifndef SONG_GPUSIM_SIMT_KERNEL_H_
+#define SONG_GPUSIM_SIMT_KERNEL_H_
+
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/distance.h"
+#include "graph/fixed_degree_graph.h"
+#include "gpusim/gpu_spec.h"
+#include "gpusim/simt_warp.h"
+#include "song/bounded_heap.h"
+#include "song/search_options.h"
+
+namespace song {
+
+struct SimtKernelResult {
+  std::vector<Neighbor> topk;
+  /// Executed warp cycles per stage.
+  double locate_cycles = 0.0;
+  double distance_cycles = 0.0;
+  double maintain_cycles = 0.0;
+  /// Global-memory traffic in bytes (32B-sector granularity).
+  size_t global_bytes = 0;
+  size_t iterations = 0;
+  size_t distance_computations = 0;
+
+  double TotalCycles() const {
+    return locate_cycles + distance_cycles + maintain_cycles;
+  }
+};
+
+class SimtSongKernel {
+ public:
+  /// Supported metrics: kL2 and kInnerProduct (normalize rows + IP for
+  /// cosine). `data` and `graph` must outlive the kernel.
+  SimtSongKernel(const Dataset* data, const FixedDegreeGraph* graph,
+                 Metric metric, idx_t entry = 0,
+                 const GpuSpec& spec = GpuSpec::V100());
+
+  /// One query through the warp-executed pipeline.
+  SimtKernelResult Search(const float* query, size_t k,
+                          const SongSearchOptions& options) const;
+
+ private:
+  const Dataset* data_;
+  const FixedDegreeGraph* graph_;
+  Metric metric_;
+  idx_t entry_;
+  GpuSpec spec_;
+};
+
+}  // namespace song
+
+#endif  // SONG_GPUSIM_SIMT_KERNEL_H_

@@ -1,0 +1,127 @@
+#include "gpusim/simt_warp.h"
+
+namespace song {
+
+namespace {
+
+// Lane partials for a strided accumulation: lane l sums f(query[d],
+// point[d]) over d = l, l+lanes, ... — the access pattern that makes
+// consecutive lanes read consecutive floats (one 128-byte line per 32
+// lanes).
+template <typename Term>
+std::array<float, SimtWarp::kWarpSize> LanePartials(const float* query,
+                                                    const float* point,
+                                                    size_t dim, size_t lanes,
+                                                    const Term& term) {
+  std::array<float, SimtWarp::kWarpSize> partial{};
+  for (size_t lane = 0; lane < lanes; ++lane) {
+    float acc = 0.0f;
+    for (size_t d = lane; d < dim; d += lanes) {
+      acc += term(query[d], point[d]);
+    }
+    partial[lane] = acc;
+  }
+  return partial;
+}
+
+}  // namespace
+
+float SimtWarp::ShflDownSum(const std::array<float, kWarpSize>& lane_values,
+                            size_t lanes) {
+  std::array<float, kWarpSize> values = lane_values;
+  // Classic butterfly: for delta = lanes/2 .. 1, every active lane adds the
+  // value of lane + delta. One shfl + one add per lane group per level.
+  for (size_t delta = lanes / 2; delta >= 1; delta /= 2) {
+    for (size_t lane = 0; lane < delta; ++lane) {
+      values[lane] += values[lane + delta];
+    }
+    cycles_->Shfl(1);
+    cycles_->Alu(1);
+    if (delta == 1) break;
+  }
+  return values[0];
+}
+
+float SimtWarp::ReduceL2(const float* query, const float* point, size_t dim,
+                         size_t lanes) {
+  const auto partial = LanePartials(
+      query, point, dim, lanes,
+      [](float q, float p) {
+        const float diff = q - p;
+        return diff * diff;
+      });
+  // Cycle accounting: the lanes run in lockstep, so the cost is the per-lane
+  // chain of ceil(dim/lanes) FMAs; query reads hit shared memory (one
+  // access per loop round, broadcast across lanes), the point streams from
+  // global memory.
+  const size_t rounds = (dim + lanes - 1) / lanes;
+  cycles_->Fma(rounds * 2);       // sub+mul-add per round (lockstep)
+  cycles_->SharedAccess(rounds);  // query element reads
+  cycles_->GlobalLoad(reinterpret_cast<uintptr_t>(point),
+                      dim * sizeof(float));
+  return ShflDownSum(partial, lanes);
+}
+
+float SimtWarp::ReduceInnerProduct(const float* query, const float* point,
+                                   size_t dim, size_t lanes) {
+  const auto partial = LanePartials(
+      query, point, dim, lanes,
+      [](float q, float p) { return q * p; });
+  const size_t rounds = (dim + lanes - 1) / lanes;
+  cycles_->Fma(rounds);
+  cycles_->SharedAccess(rounds);
+  cycles_->GlobalLoad(reinterpret_cast<uintptr_t>(point),
+                      dim * sizeof(float));
+  return -ShflDownSum(partial, lanes);
+}
+
+SimtWarp::ProbeInsertResult SimtWarp::ParallelProbeInsert(
+    const idx_t* slots, size_t slot_count, size_t start, idx_t key,
+    idx_t empty, idx_t tombstone) {
+  ProbeInsertResult result;
+  size_t first_tombstone = slot_count;
+  for (size_t base = 0; base < slot_count; base += kWarpSize) {
+    cycles_->SharedAccess(1);  // lockstep slot read
+    cycles_->Shfl(1);          // ballot over (key | empty | tombstone) hits
+    cycles_->Alu(1);
+    for (size_t lane = 0; lane < kWarpSize && base + lane < slot_count;
+         ++lane) {
+      const size_t probe = (start + base + lane) % slot_count;
+      const idx_t slot = slots[probe];
+      if (slot == key) {
+        result.found_key = true;
+        result.insert_slot = probe;
+        return result;
+      }
+      if (slot == tombstone && first_tombstone == slot_count) {
+        first_tombstone = probe;
+      }
+      if (slot == empty) {
+        result.insert_slot =
+            first_tombstone != slot_count ? first_tombstone : probe;
+        return result;
+      }
+    }
+  }
+  result.insert_slot = first_tombstone;  // slot_count when truly full
+  return result;
+}
+
+size_t SimtWarp::ParallelProbe(const idx_t* slots, size_t slot_count,
+                               size_t start, idx_t key, idx_t empty) {
+  // Rounds of 32 lanes each; every lane reads one slot, then a ballot
+  // (modeled as one shfl + one alu) picks the first hit.
+  for (size_t base = 0; base < slot_count; base += kWarpSize) {
+    cycles_->SharedAccess(1);  // lockstep slot read (one shared transaction)
+    cycles_->Shfl(1);          // ballot
+    cycles_->Alu(1);           // ffs on the ballot mask
+    for (size_t lane = 0; lane < kWarpSize; ++lane) {
+      const size_t probe = (start + base + lane) % slot_count;
+      const idx_t slot = slots[probe];
+      if (slot == key || slot == empty) return probe;
+    }
+  }
+  return slot_count;
+}
+
+}  // namespace song

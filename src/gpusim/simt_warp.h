@@ -1,0 +1,143 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// Lane-level SIMT warp executor. Where gpusim/cost_model.h *prices* counters
+// analytically, this module *executes* the warp-level primitives the SONG
+// CUDA kernel is built from — 32 lockstep lanes, shfl_down reductions,
+// coalesced global loads, warp-parallel hash probing — with per-instruction
+// cycle accounting. It serves three purposes:
+//   1. an executable specification of the kernel (tests prove the warp
+//      reduction computes exactly the scalar distance),
+//   2. a cross-check for the analytic cost model's stage cycles,
+//   3. the substrate for the SimtSongKernel (gpusim/simt_kernel.h), which
+//      runs a full SONG search through these primitives.
+
+#ifndef SONG_GPUSIM_SIMT_WARP_H_
+#define SONG_GPUSIM_SIMT_WARP_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "core/types.h"
+#include "gpusim/gpu_spec.h"
+
+namespace song {
+
+/// Cycle ledger for one warp, by instruction class. Costs come from the
+/// GpuSpec; global-memory transactions are counted in 32-byte sectors the
+/// way the hardware coalescer does.
+class CycleCounter {
+ public:
+  explicit CycleCounter(const GpuSpec& spec) : spec_(spec) {}
+
+  void Alu(size_t ops = 1) { alu_ops_ += ops; }
+  void Fma(size_t ops = 1) { fma_ops_ += ops; }
+  void Shfl(size_t ops = 1) { shfl_ops_ += ops; }
+  void SharedAccess(size_t ops = 1) { shared_accesses_ += ops; }
+
+  /// A warp-wide global load touching [addr, addr+bytes): counts unique
+  /// 32-byte sectors (coalesced lanes share sectors) and one latency
+  /// exposure per transaction batch.
+  void GlobalLoad(uintptr_t addr, size_t bytes) {
+    const uintptr_t first = addr / kSectorBytes;
+    const uintptr_t last = (addr + (bytes == 0 ? 0 : bytes - 1)) /
+                           kSectorBytes;
+    global_sectors_ += static_cast<size_t>(last - first + 1);
+    ++global_transactions_;
+  }
+
+  size_t alu_ops() const { return alu_ops_; }
+  size_t fma_ops() const { return fma_ops_; }
+  size_t shfl_ops() const { return shfl_ops_; }
+  size_t shared_accesses() const { return shared_accesses_; }
+  size_t global_sectors() const { return global_sectors_; }
+  size_t global_transactions() const { return global_transactions_; }
+
+  /// Total warp cycles under the simple in-order issue model: 1 cycle per
+  /// ALU/FMA/shfl issue, shared latency per shared access on the critical
+  /// path, global latency per dependent transaction.
+  double TotalCycles() const {
+    return static_cast<double>(alu_ops_ + fma_ops_ + shfl_ops_) +
+           static_cast<double>(shared_accesses_) *
+               spec_.shared_latency_cycles +
+           static_cast<double>(global_transactions_) *
+               spec_.global_latency_cycles;
+  }
+
+  /// Bytes moved from global memory (sectors * 32).
+  size_t GlobalBytes() const { return global_sectors_ * kSectorBytes; }
+
+  void Reset() {
+    alu_ops_ = fma_ops_ = shfl_ops_ = shared_accesses_ = 0;
+    global_sectors_ = global_transactions_ = 0;
+  }
+
+  static constexpr size_t kSectorBytes = 32;
+
+ private:
+  GpuSpec spec_;
+  size_t alu_ops_ = 0;
+  size_t fma_ops_ = 0;
+  size_t shfl_ops_ = 0;
+  size_t shared_accesses_ = 0;
+  size_t global_sectors_ = 0;
+  size_t global_transactions_ = 0;
+};
+
+/// One warp: 32 lanes executing in lockstep. The primitives mirror the CUDA
+/// idioms the SONG kernel uses; results are bit-equivalent to what the card
+/// computes (modulo float summation order, which is fixed here to the
+/// strided-lane + shfl_down order the kernel itself uses).
+class SimtWarp {
+ public:
+  static constexpr size_t kWarpSize = 32;
+
+  explicit SimtWarp(CycleCounter* cycles) : cycles_(cycles) {}
+
+  /// Bulk-distance primitive (paper §VI): every lane accumulates a strided
+  /// subset of dimensions (lane l handles dims l, l+32, ...), consecutive
+  /// lanes touch consecutive addresses (coalesced), then a shfl_down tree
+  /// reduces the 32 partials into lane 0's value.
+  ///
+  /// `lanes` < 32 models multi-query warps (32 / multi_query lanes per
+  /// query); `lane_offset` is the querying group's first lane.
+  float ReduceL2(const float* query, const float* point, size_t dim,
+                 size_t lanes = kWarpSize);
+  float ReduceInnerProduct(const float* query, const float* point,
+                           size_t dim, size_t lanes = kWarpSize);
+
+  /// Warp-parallel linear probe (paper §IV-B: "all threads in a warp probe
+  /// the memory and locate the insertion/deletion location by a warp
+  /// reduction"). Each lane inspects one consecutive slot per round.
+  /// Returns the index of the first slot containing `key`, or the first
+  /// slot equal to `empty` if the key is absent, or slot_count if neither
+  /// is found.
+  size_t ParallelProbe(const idx_t* slots, size_t slot_count, size_t start,
+                       idx_t key, idx_t empty);
+
+  /// Insertion probe: scans in probe order from `start`, stopping at `key`
+  /// or at the first `empty` slot, while remembering the first reusable
+  /// `tombstone` passed on the way. If the key was found, found_key is true
+  /// and insert_slot is its position; otherwise insert_slot is the first
+  /// tombstone if one preceded the stopping empty, else the empty itself
+  /// (slot_count if the table had neither).
+  struct ProbeInsertResult {
+    bool found_key = false;
+    size_t insert_slot = 0;
+  };
+  ProbeInsertResult ParallelProbeInsert(const idx_t* slots,
+                                        size_t slot_count, size_t start,
+                                        idx_t key, idx_t empty,
+                                        idx_t tombstone);
+
+  /// shfl_down tree reduction over one value per lane (exposed for tests).
+  float ShflDownSum(const std::array<float, kWarpSize>& lane_values,
+                    size_t lanes = kWarpSize);
+
+ private:
+  CycleCounter* cycles_;
+};
+
+}  // namespace song
+
+#endif  // SONG_GPUSIM_SIMT_WARP_H_

@@ -1,0 +1,103 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// Convenience wrapper combining native batch execution with the GPU cost
+// model: one call returns the real results (for recall) plus the simulated
+// per-stage GPU profile (for throughput). This is what all figure benches
+// drive.
+
+#ifndef SONG_GPUSIM_SIMULATOR_H_
+#define SONG_GPUSIM_SIMULATOR_H_
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/thread_pool.h"
+#include "core/timer.h"
+#include "gpusim/cost_model.h"
+#include "gpusim/gpu_spec.h"
+#include "hashing/hashed_index.h"
+#include "song/batch_engine.h"
+#include "song/song_searcher.h"
+
+namespace song {
+
+struct SimulatedRun {
+  BatchResult batch;       ///< native execution: results + counters + CPU wall
+  KernelBreakdown gpu;     ///< simulated GPU profile for `spec`
+  double SimQps() const { return gpu.Qps(batch.num_queries); }
+};
+
+/// Executes `queries` through the SONG pipeline and prices the collected
+/// counters on `spec`.
+inline SimulatedRun SimulateBatch(const SongSearcher& searcher,
+                                  const Dataset& queries, size_t k,
+                                  const SongSearchOptions& options,
+                                  const GpuSpec& spec,
+                                  size_t num_threads = 0) {
+  SimulatedRun run;
+  BatchEngine engine(&searcher, num_threads);
+  run.batch = engine.Search(queries, k, options);
+
+  WorkloadShape shape;
+  shape.num_queries = queries.num();
+  shape.dim = searcher.data().dim();
+  shape.point_bytes = searcher.data().dim() * sizeof(float);
+  shape.k = k;
+  shape.queue_size = std::max(options.queue_size, k);
+  shape.degree = searcher.graph().degree();
+  shape.multi_query = options.multi_query;
+  shape.multi_step = options.multi_step_probe;
+  shape.structure = options.structure;
+
+  CostModel model(spec);
+  run.gpu = model.Estimate(run.batch.stats, shape);
+  return run;
+}
+
+/// Same as SimulateBatch for the hashed (out-of-GPU-memory, §VII) index:
+/// the device holds bits/8-byte codes, and the host hashes queries before
+/// the HtoD transfer.
+inline SimulatedRun SimulateHashedBatch(const HashedSongIndex& index,
+                                        const Dataset& queries, size_t k,
+                                        const SongSearchOptions& options,
+                                        const GpuSpec& spec,
+                                        size_t num_threads = 0) {
+  SimulatedRun run;
+  run.batch.num_queries = queries.num();
+  run.batch.results.resize(queries.num());
+  const size_t threads =
+      num_threads != 0 ? num_threads
+                       : std::max(1u, std::thread::hardware_concurrency());
+  std::vector<SongWorkspace> workspaces(threads);
+  std::vector<SearchStats> thread_stats(threads);
+  Timer timer;
+  ParallelFor(queries.num(), threads, [&](size_t qi, size_t tid) {
+    run.batch.results[qi] =
+        index.Search(queries.Row(static_cast<idx_t>(qi)), k, options,
+                     &workspaces[tid], &thread_stats[tid]);
+  });
+  run.batch.wall_seconds = timer.ElapsedSeconds();
+  for (const SearchStats& s : thread_stats) run.batch.stats.Add(s);
+
+  const size_t bits = index.codes().bits();
+  WorkloadShape shape;
+  shape.num_queries = queries.num();
+  shape.dim = std::max<size_t>(1, bits / 32);  // hashed query words (HtoD)
+  shape.point_bytes = bits / 8;
+  shape.k = k;
+  shape.queue_size = std::max(options.queue_size, k);
+  shape.degree = index.graph().degree();
+  shape.multi_query = options.multi_query;
+  shape.multi_step = options.multi_step_probe;
+  shape.structure = options.structure;
+
+  CostModel model(spec);
+  run.gpu = model.Estimate(run.batch.stats, shape);
+  return run;
+}
+
+}  // namespace song
+
+#endif  // SONG_GPUSIM_SIMULATOR_H_

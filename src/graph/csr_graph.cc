@@ -1,0 +1,39 @@
+#include "graph/csr_graph.h"
+
+namespace song {
+
+CsrGraph CsrGraph::FromFixedDegree(const FixedDegreeGraph& graph) {
+  CsrGraph csr;
+  const size_t n = graph.num_vertices();
+  csr.offsets_.resize(n + 1);
+  csr.offsets_[0] = 0;
+  for (size_t v = 0; v < n; ++v) {
+    csr.offsets_[v + 1] =
+        csr.offsets_[v] + graph.NeighborCount(static_cast<idx_t>(v));
+  }
+  csr.targets_.reserve(csr.offsets_[n]);
+  for (size_t v = 0; v < n; ++v) {
+    const idx_t* row = graph.Row(static_cast<idx_t>(v));
+    for (size_t i = 0; i < graph.degree() && row[i] != kInvalidIdx; ++i) {
+      csr.targets_.push_back(row[i]);
+    }
+  }
+  return csr;
+}
+
+CsrGraph CsrGraph::FromAdjacency(
+    const std::vector<std::vector<idx_t>>& adjacency) {
+  CsrGraph csr;
+  csr.offsets_.resize(adjacency.size() + 1);
+  csr.offsets_[0] = 0;
+  for (size_t v = 0; v < adjacency.size(); ++v) {
+    csr.offsets_[v + 1] = csr.offsets_[v] + adjacency[v].size();
+  }
+  csr.targets_.reserve(csr.offsets_.back());
+  for (const auto& row : adjacency) {
+    csr.targets_.insert(csr.targets_.end(), row.begin(), row.end());
+  }
+  return csr;
+}
+
+}  // namespace song

@@ -1,0 +1,76 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// CSR (offset-indexed) adjacency storage — the representation the paper
+// argues AGAINST for GPU graph search (§IV-A): locating a vertex's
+// neighbors requires loading its offset first ("index look-up is
+// inefficient since it requires an additional memory operation"), i.e. two
+// dependent global-memory reads per expansion instead of one. This class
+// exists for the §IV-A ablation: it is byte-exact about its memory layout
+// and counts the extra indirection so the micro bench and cost comparison
+// can quantify the trade-off against FixedDegreeGraph.
+
+#ifndef SONG_GRAPH_CSR_GRAPH_H_
+#define SONG_GRAPH_CSR_GRAPH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/logging.h"
+#include "core/types.h"
+#include "graph/fixed_degree_graph.h"
+
+namespace song {
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Converts from a fixed-degree graph (drops the padding).
+  static CsrGraph FromFixedDegree(const FixedDegreeGraph& graph);
+
+  /// Builds from a ragged adjacency list.
+  static CsrGraph FromAdjacency(
+      const std::vector<std::vector<idx_t>>& adjacency);
+
+  size_t num_vertices() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  size_t num_edges() const { return targets_.size(); }
+
+  /// Neighbor span of `v`. On the GPU this is the two dependent loads:
+  /// offsets_[v], offsets_[v+1] (one transaction: adjacent words), then the
+  /// edge list.
+  const idx_t* Neighbors(idx_t v, size_t* count) const {
+    SONG_DCHECK(v + 1 < offsets_.size());
+    const size_t begin = offsets_[v];
+    *count = offsets_[v + 1] - begin;
+    return targets_.data() + begin;
+  }
+
+  size_t NeighborCount(idx_t v) const {
+    SONG_DCHECK(v + 1 < offsets_.size());
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Exact storage: offsets (n+1 x 8B: edge counts can exceed 2^32 at the
+  /// paper's scale) + targets (E x 4B).
+  size_t MemoryBytes() const {
+    return offsets_.size() * sizeof(uint64_t) +
+           targets_.size() * sizeof(idx_t);
+  }
+
+  /// Dependent global-memory transactions to expand one vertex: the offset
+  /// pair, then the ceil(count*4 / 128) edge segments — versus exactly
+  /// ceil(degree*4 / 128) for the fixed-degree layout.
+  static size_t ExpansionTransactions(size_t count) {
+    return 1 + (count * sizeof(idx_t) + 127) / 128;
+  }
+
+ private:
+  std::vector<uint64_t> offsets_;  // n+1
+  std::vector<idx_t> targets_;     // E
+};
+
+}  // namespace song
+
+#endif  // SONG_GRAPH_CSR_GRAPH_H_

@@ -1,0 +1,107 @@
+#include "graph/fixed_degree_graph.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace song {
+
+namespace {
+constexpr char kMagic[4] = {'S', 'N', 'G', 'G'};
+}  // namespace
+
+FixedDegreeGraph::FixedDegreeGraph(size_t num_vertices, size_t degree)
+    : num_vertices_(num_vertices), degree_(degree) {
+  SONG_CHECK(degree > 0);
+  slots_.Reset(num_vertices_ * degree_);
+  std::fill(slots_.begin(), slots_.end(), kInvalidIdx);
+}
+
+FixedDegreeGraph FixedDegreeGraph::FromAdjacency(
+    const std::vector<std::vector<idx_t>>& adjacency, size_t degree) {
+  FixedDegreeGraph g(adjacency.size(), degree);
+  for (size_t v = 0; v < adjacency.size(); ++v) {
+    const auto& row = adjacency[v];
+    const size_t count = std::min(row.size(), degree);
+    idx_t* slots = g.MutableRow(static_cast<idx_t>(v));
+    for (size_t i = 0; i < count; ++i) slots[i] = row[i];
+  }
+  return g;
+}
+
+size_t FixedDegreeGraph::NeighborCount(idx_t v) const {
+  const idx_t* row = Row(v);
+  size_t count = 0;
+  while (count < degree_ && row[count] != kInvalidIdx) ++count;
+  return count;
+}
+
+std::vector<idx_t> FixedDegreeGraph::Neighbors(idx_t v) const {
+  const idx_t* row = Row(v);
+  std::vector<idx_t> out;
+  out.reserve(degree_);
+  for (size_t i = 0; i < degree_ && row[i] != kInvalidIdx; ++i) {
+    out.push_back(row[i]);
+  }
+  return out;
+}
+
+void FixedDegreeGraph::SetNeighbors(idx_t v,
+                                    const std::vector<idx_t>& neighbors) {
+  SONG_CHECK(neighbors.size() <= degree_);
+  idx_t* row = MutableRow(v);
+  std::fill(row, row + degree_, kInvalidIdx);
+  std::copy(neighbors.begin(), neighbors.end(), row);
+}
+
+bool FixedDegreeGraph::AddNeighbor(idx_t v, idx_t u) {
+  idx_t* row = MutableRow(v);
+  for (size_t i = 0; i < degree_; ++i) {
+    if (row[i] == u) return false;
+    if (row[i] == kInvalidIdx) {
+      row[i] = u;
+      return true;
+    }
+  }
+  return false;
+}
+
+Status FixedDegreeGraph::Save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open for write: " + path);
+  const uint32_t degree32 = static_cast<uint32_t>(degree_);
+  const uint64_t num64 = num_vertices_;
+  bool ok = std::fwrite(kMagic, 1, 4, f) == 4;
+  ok = ok && std::fwrite(&degree32, sizeof(degree32), 1, f) == 1;
+  ok = ok && std::fwrite(&num64, sizeof(num64), 1, f) == 1;
+  ok = ok && std::fwrite(slots_.data(), sizeof(idx_t),
+                         num_vertices_ * degree_,
+                         f) == num_vertices_ * degree_;
+  std::fclose(f);
+  if (!ok) return Status::IOError("short write: " + path);
+  return Status::OK();
+}
+
+StatusOr<FixedDegreeGraph> FixedDegreeGraph::Load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open for read: " + path);
+  char magic[4];
+  uint32_t degree32 = 0;
+  uint64_t num64 = 0;
+  bool ok = std::fread(magic, 1, 4, f) == 4 &&
+            std::memcmp(magic, kMagic, 4) == 0;
+  ok = ok && std::fread(&degree32, sizeof(degree32), 1, f) == 1;
+  ok = ok && std::fread(&num64, sizeof(num64), 1, f) == 1;
+  if (!ok || degree32 == 0) {
+    std::fclose(f);
+    return Status::IOError("bad header: " + path);
+  }
+  FixedDegreeGraph g(static_cast<size_t>(num64), degree32);
+  ok = std::fread(g.slots_.data(), sizeof(idx_t), g.num_vertices_ * g.degree_,
+                  f) == g.num_vertices_ * g.degree_;
+  std::fclose(f);
+  if (!ok) return Status::IOError("short read: " + path);
+  return g;
+}
+
+}  // namespace song

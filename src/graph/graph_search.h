@@ -1,0 +1,71 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// Reference CPU implementation of the proximity-graph search (paper
+// Algorithm 1, the heuristic best-first search shared by NSW / HNSW / NSG).
+// This is the single-thread baseline the SONG pipeline is checked against,
+// and also the search primitive used inside the graph builders.
+
+#ifndef SONG_GRAPH_GRAPH_SEARCH_H_
+#define SONG_GRAPH_GRAPH_SEARCH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/distance.h"
+#include "core/types.h"
+#include "graph/fixed_degree_graph.h"
+
+namespace song {
+
+/// Epoch-stamped visited set: O(1) clear between queries without re-zeroing.
+class VisitedBuffer {
+ public:
+  void Resize(size_t n) {
+    if (stamps_.size() < n) stamps_.assign(n, 0);
+  }
+
+  /// Starts a fresh query.
+  void NextEpoch() {
+    if (++epoch_ == 0) {  // wrapped: re-zero once every 2^32 queries
+      std::fill(stamps_.begin(), stamps_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+
+  bool Test(idx_t v) const { return stamps_[v] == epoch_; }
+  void Set(idx_t v) { stamps_[v] = epoch_; }
+  bool TestAndSet(idx_t v) {
+    if (stamps_[v] == epoch_) return true;
+    stamps_[v] = epoch_;
+    return false;
+  }
+
+ private:
+  std::vector<uint32_t> stamps_;
+  uint32_t epoch_ = 0;
+};
+
+/// Counters reported by the reference search (used in tests and to sanity
+/// check the SONG pipeline's own instrumentation).
+struct GraphSearchStats {
+  size_t distance_computations = 0;
+  size_t iterations = 0;
+  size_t hops = 0;  // vertices expanded
+};
+
+/// Best-first search on `graph` for `query`, exploring with a frontier of
+/// width `ef` (the paper's "priority queue size") and returning the `k`
+/// closest visited vertices, ascending by distance.
+///
+/// `visited` must outlive the call and is reset internally; passing it in
+/// lets callers reuse the buffer across queries.
+std::vector<Neighbor> GraphSearch(const Dataset& data, Metric metric,
+                                  const FixedDegreeGraph& graph, idx_t entry,
+                                  const float* query, size_t ef, size_t k,
+                                  VisitedBuffer* visited,
+                                  GraphSearchStats* stats = nullptr);
+
+}  // namespace song
+
+#endif  // SONG_GRAPH_GRAPH_SEARCH_H_

@@ -1,0 +1,55 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace song {
+
+size_t CountReachable(const FixedDegreeGraph& graph, idx_t entry) {
+  const size_t n = graph.num_vertices();
+  if (n == 0) return 0;
+  std::vector<bool> seen(n, false);
+  std::vector<idx_t> stack;
+  stack.push_back(entry);
+  seen[entry] = true;
+  size_t count = 0;
+  while (!stack.empty()) {
+    const idx_t v = stack.back();
+    stack.pop_back();
+    ++count;
+    const idx_t* row = graph.Row(v);
+    for (size_t i = 0; i < graph.degree() && row[i] != kInvalidIdx; ++i) {
+      const idx_t u = row[i];
+      if (!seen[u]) {
+        seen[u] = true;
+        stack.push_back(u);
+      }
+    }
+  }
+  return count;
+}
+
+GraphStats ComputeGraphStats(const FixedDegreeGraph& graph, idx_t entry) {
+  GraphStats stats;
+  stats.num_vertices = graph.num_vertices();
+  stats.degree_capacity = graph.degree();
+  stats.memory_bytes = graph.MemoryBytes();
+  if (stats.num_vertices == 0) return stats;
+  size_t total = 0;
+  size_t min_deg = graph.degree();
+  size_t max_deg = 0;
+  for (size_t v = 0; v < graph.num_vertices(); ++v) {
+    const size_t d = graph.NeighborCount(static_cast<idx_t>(v));
+    total += d;
+    min_deg = std::min(min_deg, d);
+    max_deg = std::max(max_deg, d);
+  }
+  stats.min_degree = min_deg;
+  stats.max_degree = max_deg;
+  stats.avg_degree =
+      static_cast<double>(total) / static_cast<double>(stats.num_vertices);
+  stats.reachable = CountReachable(graph, entry);
+  return stats;
+}
+
+}  // namespace song

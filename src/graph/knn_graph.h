@@ -1,0 +1,31 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// Approximate and exact k-nearest-neighbor graphs. The approximate variant
+// (NSW-assisted, EFANNA-style) is the input to the NSG builder; the exact
+// variant is used by tests on small inputs.
+
+#ifndef SONG_GRAPH_KNN_GRAPH_H_
+#define SONG_GRAPH_KNN_GRAPH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/distance.h"
+#include "graph/fixed_degree_graph.h"
+
+namespace song {
+
+/// Exact kNN graph (O(n^2) — tests/small inputs only). Self edges excluded.
+FixedDegreeGraph BuildExactKnnGraph(const Dataset& data, Metric metric,
+                                    size_t k, size_t num_threads = 0);
+
+/// Approximate kNN graph: builds an NSW index and runs one search per point.
+/// `ef` controls accuracy of the per-point search.
+FixedDegreeGraph BuildApproxKnnGraph(const Dataset& data, Metric metric,
+                                     size_t k, size_t ef = 128,
+                                     size_t num_threads = 0);
+
+}  // namespace song
+
+#endif  // SONG_GRAPH_KNN_GRAPH_H_

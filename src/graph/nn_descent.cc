@@ -1,0 +1,169 @@
+#include "graph/nn_descent.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/logging.h"
+#include "core/random.h"
+#include "core/thread_pool.h"
+
+namespace song {
+
+namespace {
+
+// One entry of a vertex's candidate neighbor list.
+struct Entry {
+  float dist;
+  idx_t id;
+  bool is_new;  // joined since the last round (NN-Descent's "new" flag)
+
+  friend bool operator<(const Entry& a, const Entry& b) {
+    if (a.dist != b.dist) return a.dist < b.dist;
+    return a.id < b.id;
+  }
+};
+
+// Fixed-capacity sorted neighbor list with mutex-protected insertion.
+class NeighborList {
+ public:
+  void Init(size_t capacity) {
+    capacity_ = capacity;
+    entries_.reserve(capacity);
+  }
+
+  // Returns true if the candidate improved the list.
+  bool Insert(float dist, idx_t id) {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (entries_.size() >= capacity_ && dist >= entries_.back().dist) {
+      return false;
+    }
+    for (const Entry& e : entries_) {
+      if (e.id == id) return false;
+    }
+    const Entry entry{dist, id, true};
+    const auto pos =
+        std::lower_bound(entries_.begin(), entries_.end(), entry);
+    entries_.insert(pos, entry);
+    if (entries_.size() > capacity_) entries_.pop_back();
+    return true;
+  }
+
+  std::vector<Entry> Snapshot() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return entries_;
+  }
+
+  void ClearNewFlags(const std::vector<idx_t>& sampled) {
+    std::lock_guard<std::mutex> guard(mu_);
+    for (Entry& e : entries_) {
+      if (std::find(sampled.begin(), sampled.end(), e.id) != sampled.end()) {
+        e.is_new = false;
+      }
+    }
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+  size_t capacity_ = 0;
+};
+
+}  // namespace
+
+FixedDegreeGraph BuildNnDescentKnnGraph(const Dataset& data, Metric metric,
+                                        const NnDescentOptions& options) {
+  const size_t n = data.num();
+  const size_t k = options.k;
+  SONG_CHECK_MSG(n > 1, "NN-Descent needs at least two points");
+  const DistanceFunc dist = GetDistanceFunc(metric);
+  const size_t dim = data.dim();
+
+  std::vector<NeighborList> lists(n);
+  for (auto& list : lists) list.Init(k);
+
+  // Random initialization.
+  ParallelFor(n, options.num_threads, [&](size_t v, size_t) {
+    RandomEngine rng(options.seed ^ (0x9e37ULL * (v + 1)));
+    const float* pv = data.Row(static_cast<idx_t>(v));
+    size_t added = 0;
+    while (added < std::min(k, n - 1)) {
+      const idx_t u = static_cast<idx_t>(rng.NextUint(n));
+      if (u == static_cast<idx_t>(v)) continue;
+      lists[v].Insert(dist(pv, data.Row(u), dim), u);
+      ++added;
+    }
+  });
+
+  // Local-join rounds.
+  const size_t min_updates = std::max<size_t>(
+      1, static_cast<size_t>(options.termination_delta *
+                             static_cast<double>(n) *
+                             static_cast<double>(k)));
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Build forward + reverse candidate sets with new/old split.
+    std::vector<std::vector<idx_t>> new_cand(n), old_cand(n);
+    std::unique_ptr<std::mutex[]> cand_mu(std::make_unique<std::mutex[]>(n));
+    ParallelFor(n, options.num_threads, [&](size_t v, size_t) {
+      RandomEngine rng(options.seed ^ (iter * 1315423911ULL) ^ v);
+      std::vector<idx_t> sampled_new;
+      for (const Entry& e : lists[v].Snapshot()) {
+        if (e.is_new && rng.NextUniform() < options.sample_rate) {
+          sampled_new.push_back(e.id);
+          {
+            std::lock_guard<std::mutex> guard(cand_mu[v]);
+            new_cand[v].push_back(e.id);
+          }
+          std::lock_guard<std::mutex> guard(cand_mu[e.id]);
+          new_cand[e.id].push_back(static_cast<idx_t>(v));  // reverse edge
+        } else if (!e.is_new) {
+          {
+            std::lock_guard<std::mutex> guard(cand_mu[v]);
+            old_cand[v].push_back(e.id);
+          }
+          std::lock_guard<std::mutex> guard(cand_mu[e.id]);
+          old_cand[e.id].push_back(static_cast<idx_t>(v));
+        }
+      }
+      lists[v].ClearNewFlags(sampled_new);
+    });
+
+    // Join: new x new and new x old.
+    std::atomic<size_t> updates{0};
+    ParallelFor(n, options.num_threads, [&](size_t v, size_t) {
+      auto& nc = new_cand[v];
+      auto& oc = old_cand[v];
+      std::sort(nc.begin(), nc.end());
+      nc.erase(std::unique(nc.begin(), nc.end()), nc.end());
+      std::sort(oc.begin(), oc.end());
+      oc.erase(std::unique(oc.begin(), oc.end()), oc.end());
+      size_t local = 0;
+      auto join = [&](idx_t a, idx_t b) {
+        if (a == b) return;
+        const float d = dist(data.Row(a), data.Row(b), dim);
+        local += lists[a].Insert(d, b);
+        local += lists[b].Insert(d, a);
+      };
+      for (size_t i = 0; i < nc.size(); ++i) {
+        for (size_t j = i + 1; j < nc.size(); ++j) join(nc[i], nc[j]);
+        for (const idx_t o : oc) join(nc[i], o);
+      }
+      updates.fetch_add(local, std::memory_order_relaxed);
+    });
+
+    if (updates.load() < min_updates) break;
+  }
+
+  FixedDegreeGraph graph(n, k);
+  std::vector<idx_t> row;
+  for (size_t v = 0; v < n; ++v) {
+    row.clear();
+    for (const Entry& e : lists[v].Snapshot()) row.push_back(e.id);
+    graph.SetNeighbors(static_cast<idx_t>(v), row);
+  }
+  return graph;
+}
+
+}  // namespace song

@@ -1,0 +1,40 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// NN-Descent (Dong, Moses & Li, WWW 2011) — the kNN-graph construction
+// behind EFANNA, one of the graph-ANN systems the paper groups with NSW /
+// NSG (§I). Local join: start from random neighbor lists and repeatedly
+// test "my neighbor's neighbors", which converges because neighborhoods are
+// mutually informative. Provides an NSW-free way to seed the NSG builder
+// and an independent baseline for kNN-graph quality.
+
+#ifndef SONG_GRAPH_NN_DESCENT_H_
+#define SONG_GRAPH_NN_DESCENT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/dataset.h"
+#include "core/distance.h"
+#include "graph/fixed_degree_graph.h"
+
+namespace song {
+
+struct NnDescentOptions {
+  size_t k = 16;
+  size_t max_iterations = 12;
+  /// Sample rate of new neighbors joined per round (the paper's rho).
+  double sample_rate = 0.6;
+  /// Stop when fewer than `termination_delta` * n * k updates occur.
+  double termination_delta = 0.002;
+  uint64_t seed = 4711;
+  size_t num_threads = 0;
+};
+
+/// Builds an approximate kNN graph by NN-Descent. Rows are sorted ascending
+/// by distance; self edges excluded.
+FixedDegreeGraph BuildNnDescentKnnGraph(const Dataset& data, Metric metric,
+                                        const NnDescentOptions& options = {});
+
+}  // namespace song
+
+#endif  // SONG_GRAPH_NN_DESCENT_H_

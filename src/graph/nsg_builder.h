@@ -1,0 +1,45 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// Navigating Spreading-out Graph construction (Fu et al., VLDB 2019).
+// Fig 12 of the SONG paper shows SONG running on an NSG index; this module
+// builds that index: MRNG-style edge selection over search-collected
+// candidate pools, a navigating (medoid) entry node, reverse-edge insertion,
+// and a connectivity repair pass so every vertex is reachable from the
+// navigating node.
+
+#ifndef SONG_GRAPH_NSG_BUILDER_H_
+#define SONG_GRAPH_NSG_BUILDER_H_
+
+#include <cstddef>
+
+#include "core/dataset.h"
+#include "core/distance.h"
+#include "graph/fixed_degree_graph.h"
+
+namespace song {
+
+struct NsgBuildOptions {
+  /// Out-degree cap R of the final graph.
+  size_t degree = 16;
+  /// Width of the candidate-collecting search (NSG's L).
+  size_t search_l = 64;
+  /// kNN-graph degree used to seed candidate pools.
+  size_t knn_k = 32;
+  size_t num_threads = 0;
+};
+
+struct NsgIndex {
+  FixedDegreeGraph graph;
+  /// The medoid-like entry vertex every search starts from.
+  idx_t navigating_node = 0;
+};
+
+class NsgBuilder {
+ public:
+  static NsgIndex Build(const Dataset& data, Metric metric,
+                        const NsgBuildOptions& options = {});
+};
+
+}  // namespace song
+
+#endif  // SONG_GRAPH_NSG_BUILDER_H_

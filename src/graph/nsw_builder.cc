@@ -1,0 +1,317 @@
+#include "graph/nsw_builder.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "core/types.h"
+#include "graph/graph_search.h"
+
+namespace song {
+
+namespace {
+
+// Build-time view of the graph with per-vertex locking so that concurrent
+// inserts can read a consistent neighbor row.
+class LockedGraph {
+ public:
+  LockedGraph(size_t n, size_t degree)
+      : degree_(degree),
+        rows_(n * degree, kInvalidIdx),
+        counts_(n),
+        locks_(std::make_unique<std::mutex[]>(n)) {}
+
+  size_t degree() const { return degree_; }
+
+  // Copies the row of v into out (returns count).
+  size_t SnapshotRow(idx_t v, idx_t* out) {
+    std::lock_guard<std::mutex> guard(locks_[v]);
+    const size_t count = counts_[v];
+    std::copy_n(&rows_[static_cast<size_t>(v) * degree_], count, out);
+    return count;
+  }
+
+  // Replaces the row of v with `neighbors` (<= degree entries).
+  void SetRow(idx_t v, const std::vector<idx_t>& neighbors) {
+    std::lock_guard<std::mutex> guard(locks_[v]);
+    idx_t* row = &rows_[static_cast<size_t>(v) * degree_];
+    std::fill(row, row + degree_, kInvalidIdx);
+    std::copy(neighbors.begin(), neighbors.end(), row);
+    counts_[v] = neighbors.size();
+  }
+
+  // Adds edge v->u. If the row overflows, `select` (sorted candidate pool
+  // -> kept ids, at most degree) decides which neighbors survive.
+  template <typename DistToV, typename Select>
+  void AddEdgeWithShrink(idx_t v, idx_t u, const DistToV& dist_to_v,
+                         const Select& select) {
+    std::lock_guard<std::mutex> guard(locks_[v]);
+    idx_t* row = &rows_[static_cast<size_t>(v) * degree_];
+    const size_t count = counts_[v];
+    for (size_t i = 0; i < count; ++i) {
+      if (row[i] == u) return;  // edge already present
+    }
+    if (count < degree_) {
+      row[count] = u;
+      counts_[v] = count + 1;
+      return;
+    }
+    // Overflow: re-select the row from current neighbors plus u.
+    std::vector<Neighbor> pool;
+    pool.reserve(count + 1);
+    for (size_t i = 0; i < count; ++i) {
+      pool.emplace_back(dist_to_v(row[i]), row[i]);
+    }
+    pool.emplace_back(dist_to_v(u), u);
+    std::sort(pool.begin(), pool.end());
+    const std::vector<idx_t> kept = select(v, pool);
+    std::fill(row, row + degree_, kInvalidIdx);
+    std::copy(kept.begin(), kept.end(), row);
+    counts_[v] = kept.size();
+  }
+
+  FixedDegreeGraph Finish(size_t n) {
+    FixedDegreeGraph g(n, degree_);
+    std::vector<idx_t> row(degree_);
+    for (size_t v = 0; v < n; ++v) {
+      const size_t count = counts_[v];
+      row.assign(&rows_[v * degree_], &rows_[v * degree_] + count);
+      g.SetNeighbors(static_cast<idx_t>(v), row);
+    }
+    return g;
+  }
+
+ private:
+  size_t degree_;
+  std::vector<idx_t> rows_;
+  std::vector<size_t> counts_;
+  std::unique_ptr<std::mutex[]> locks_;
+};
+
+// Best-first search over the build-time graph, traversing only vertices
+// whose insertion has been published via `inserted`.
+std::vector<Neighbor> BuildTimeSearch(
+    const Dataset& data, Metric metric, LockedGraph& graph, idx_t entry,
+    const float* query, size_t ef,
+    const std::vector<std::atomic<bool>>& inserted, VisitedBuffer* visited,
+    std::vector<idx_t>& row_buf) {
+  const DistanceFunc dist = GetDistanceFunc(metric);
+  const size_t dim = data.dim();
+  visited->Resize(data.num());
+  visited->NextEpoch();
+
+  std::priority_queue<Neighbor, std::vector<Neighbor>, std::greater<>> q;
+  std::priority_queue<Neighbor> top;
+
+  const float entry_dist = dist(query, data.Row(entry), dim);
+  visited->Set(entry);
+  q.emplace(entry_dist, entry);
+  top.emplace(entry_dist, entry);
+
+  while (!q.empty()) {
+    const Neighbor now = q.top();
+    q.pop();
+    if (top.size() >= ef && now.dist > top.top().dist) break;
+    const size_t count = graph.SnapshotRow(now.id, row_buf.data());
+    for (size_t i = 0; i < count; ++i) {
+      const idx_t v = row_buf[i];
+      if (!inserted[v].load(std::memory_order_acquire)) continue;
+      if (visited->TestAndSet(v)) continue;
+      const float d = dist(query, data.Row(v), dim);
+      if (top.size() < ef || d < top.top().dist) {
+        q.emplace(d, v);
+        top.emplace(d, v);
+        if (top.size() > ef) top.pop();
+      }
+    }
+  }
+
+  std::vector<Neighbor> out(top.size());
+  for (size_t i = top.size(); i-- > 0;) {
+    out[i] = top.top();
+    top.pop();
+  }
+  return out;
+}
+
+// Occlusion-pruned neighbor selection (the HNSW "heuristic", Algorithm 4 of
+// Malkov & Yashunin): scan candidates ascending; keep c unless some already
+// kept r is closer to c than c is to the center. Produces diverse, navigable
+// edges instead of a tight clique around the center.
+std::vector<idx_t> SelectDiverse(const Dataset& data, Metric metric,
+                                 idx_t center,
+                                 const std::vector<Neighbor>& sorted_pool,
+                                 size_t m) {
+  const DistanceFunc dist = GetDistanceFunc(metric);
+  const size_t dim = data.dim();
+  std::vector<idx_t> selected;
+  selected.reserve(m);
+  std::vector<Neighbor> discarded;
+  for (const Neighbor& cand : sorted_pool) {
+    if (selected.size() >= m) break;
+    if (cand.id == center) continue;
+    bool occluded = false;
+    for (const idx_t r : selected) {
+      if (r == cand.id ||
+          dist(data.Row(r), data.Row(cand.id), dim) < cand.dist) {
+        occluded = true;
+        break;
+      }
+    }
+    if (occluded) {
+      discarded.push_back(cand);
+    } else {
+      selected.push_back(cand.id);
+    }
+  }
+  for (const Neighbor& d : discarded) {
+    if (selected.size() >= m) break;
+    if (std::find(selected.begin(), selected.end(), d.id) ==
+        selected.end()) {
+      selected.push_back(d.id);
+    }
+  }
+  return selected;
+}
+
+}  // namespace
+
+FixedDegreeGraph NswBuilder::Build(const Dataset& data, Metric metric,
+                                   const NswBuildOptions& options) {
+  const size_t n = data.num();
+  SONG_CHECK_MSG(n > 0, "cannot build a graph over an empty dataset");
+  const size_t degree = options.degree;
+  const size_t m = options.m == 0 ? std::max<size_t>(1, degree / 2)
+                                  : std::min(options.m, degree);
+  LockedGraph graph(n, degree);
+  const DistanceFunc dist = GetDistanceFunc(metric);
+  const size_t dim = data.dim();
+
+  // inserted[v]: v's own row is published and v may be traversed. Vertex 0
+  // is the seed/entry vertex.
+  std::vector<std::atomic<bool>> inserted(n);
+  inserted[0].store(true, std::memory_order_release);
+
+  auto insert_one = [&](idx_t v, VisitedBuffer& visited,
+                        std::vector<idx_t>& row_buf) {
+    const float* point = data.Row(v);
+    std::vector<Neighbor> found =
+        BuildTimeSearch(data, metric, graph, /*entry=*/0, point,
+                        options.ef_construction, inserted, &visited, row_buf);
+    const std::vector<idx_t> own = SelectDiverse(data, metric, v, found, m);
+    graph.SetRow(v, own);
+    inserted[v].store(true, std::memory_order_release);
+    auto dist_to = [&](idx_t center) {
+      return [&, center](idx_t u) {
+        return dist(data.Row(center), data.Row(u), dim);
+      };
+    };
+    auto select = [&](idx_t center, const std::vector<Neighbor>& pool) {
+      return SelectDiverse(data, metric, center, pool, degree);
+    };
+    for (const idx_t u : own) {
+      graph.AddEdgeWithShrink(u, v, dist_to(u), select);
+    }
+  };
+
+  // Warmup backbone: the earliest inserts define the navigable skeleton
+  // every later search descends through, and concurrent inserts at that
+  // stage cannot see each other — so build the first slice sequentially.
+  const size_t warmup =
+      std::min(n - 1, std::max<size_t>(degree * 32, n / 20));
+  {
+    VisitedBuffer visited;
+    std::vector<idx_t> row_buf(degree);
+    for (idx_t v = 1; v <= warmup; ++v) insert_one(v, visited, row_buf);
+  }
+
+  ParallelFor(n - 1 - warmup, options.num_threads, [&](size_t job, size_t) {
+    thread_local VisitedBuffer visited;
+    thread_local std::vector<idx_t> row_buf;
+    row_buf.resize(degree);
+    insert_one(static_cast<idx_t>(job + 1 + warmup), visited, row_buf);
+  });
+
+  FixedDegreeGraph result = graph.Finish(n);
+  RepairConnectivity(data, metric, &result);
+  return result;
+}
+
+void NswBuilder::RepairConnectivity(const Dataset& data, Metric metric,
+                                    FixedDegreeGraph* graph) {
+  // Reverse edges can be evicted by the degree cap, leaving a few vertices
+  // with in-degree 0 (unreachable from the entry vertex). Re-attach each
+  // unreachable vertex v by forcing an edge from its nearest reachable
+  // out-neighbor (falling back to the entry vertex), evicting that row's
+  // farthest neighbor when full. A handful of rounds always converges: each
+  // round strictly grows the reachable set.
+  const size_t n = graph->num_vertices();
+  const DistanceFunc dist = GetDistanceFunc(metric);
+  const size_t dim = data.dim();
+  // Chain anchor: the most recently attached vertex (persists across
+  // rounds). Attaching through it when the preferred anchor's row is full
+  // avoids evictions that could disconnect previously repaired vertices
+  // (adversarial case: many orphans all pointing at one full hub).
+  idx_t spare_anchor = 0;
+  for (int round = 0; round < 16; ++round) {
+    std::vector<bool> seen(n, false);
+    std::vector<idx_t> stack{0};
+    seen[0] = true;
+    size_t reached = 0;
+    while (!stack.empty()) {
+      const idx_t v = stack.back();
+      stack.pop_back();
+      ++reached;
+      const idx_t* row = graph->Row(v);
+      for (size_t i = 0; i < graph->degree() && row[i] != kInvalidIdx; ++i) {
+        if (!seen[row[i]]) {
+          seen[row[i]] = true;
+          stack.push_back(row[i]);
+        }
+      }
+    }
+    if (reached == n) return;
+    if (!seen[spare_anchor]) spare_anchor = 0;  // must stay reachable
+    for (size_t vi = 0; vi < n; ++vi) {
+      if (seen[vi]) continue;
+      const idx_t v = static_cast<idx_t>(vi);
+      // Prefer a reachable out-neighbor of v as the attachment point (it is
+      // close to v by construction).
+      idx_t anchor = 0;
+      for (const idx_t u : graph->Neighbors(v)) {
+        if (seen[u]) {
+          anchor = u;
+          break;
+        }
+      }
+      bool attached = graph->AddNeighbor(anchor, v);
+      if (!attached && spare_anchor != v) {
+        attached = graph->AddNeighbor(spare_anchor, v);
+      }
+      if (!attached) {
+        // Both rows full: evict the farthest neighbor of the preferred
+        // anchor (a later BFS round re-repairs anything this disconnects).
+        std::vector<idx_t> row = graph->Neighbors(anchor);
+        size_t worst = 0;
+        float worst_d = -1.0f;
+        for (size_t i = 0; i < row.size(); ++i) {
+          const float d = dist(data.Row(anchor), data.Row(row[i]), dim);
+          if (d > worst_d) {
+            worst_d = d;
+            worst = i;
+          }
+        }
+        row[worst] = v;
+        graph->SetNeighbors(anchor, row);
+      }
+      seen[vi] = true;  // attached to the reachable component
+      spare_anchor = v;
+    }
+  }
+}
+
+}  // namespace song

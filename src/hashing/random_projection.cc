@@ -1,0 +1,44 @@
+#include "hashing/random_projection.h"
+
+#include "core/logging.h"
+#include "core/random.h"
+#include "core/thread_pool.h"
+
+namespace song {
+
+RandomProjection::RandomProjection(size_t dim, size_t bits,
+                                   ProjectionKind kind, uint64_t seed)
+    : dim_(dim), bits_(bits) {
+  SONG_CHECK_MSG(dim > 0 && bits > 0, "dim and bits must be positive");
+  projections_.resize(bits_ * dim_);
+  RandomEngine rng(seed);
+  for (float& p : projections_) {
+    p = static_cast<float>(kind == ProjectionKind::kNormal
+                               ? rng.NextGaussian()
+                               : rng.NextCauchy());
+  }
+}
+
+void RandomProjection::EncodeInto(const float* vec, BinaryCodes* codes,
+                                  idx_t row) const {
+  SONG_DCHECK(codes->bits() >= bits_);
+  for (size_t b = 0; b < bits_; ++b) {
+    const float* r = &projections_[b * dim_];
+    float dot = 0.0f;
+    for (size_t d = 0; d < dim_; ++d) dot += r[d] * vec[d];
+    if (dot >= 0.0f) codes->SetBit(row, b);
+  }
+}
+
+BinaryCodes RandomProjection::EncodeDataset(const Dataset& data,
+                                            size_t num_threads) const {
+  SONG_CHECK_MSG(data.dim() == dim_, "dataset dim != projection dim");
+  BinaryCodes codes(data.num(), bits_);
+  ParallelFor(data.num(), num_threads, [&](size_t i, size_t) {
+    EncodeInto(data.Row(static_cast<idx_t>(i)), &codes,
+               static_cast<idx_t>(i));
+  });
+  return codes;
+}
+
+}  // namespace song

@@ -1,0 +1,57 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// 1-bit random projections (paper §VII): each point x maps to h sign bits
+// sgn(<x, r_i>) with r_i drawn iid normal (angle-preserving SimHash) or iid
+// Cauchy (chi-squared similarity). Hamming distance between codes estimates
+// similarity in the original space, shrinking a d-float point to h/32 words
+// so out-of-GPU-memory datasets fit on the card.
+
+#ifndef SONG_HASHING_RANDOM_PROJECTION_H_
+#define SONG_HASHING_RANDOM_PROJECTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/bitvector.h"
+#include "core/dataset.h"
+
+namespace song {
+
+enum class ProjectionKind {
+  kNormal = 0,  ///< sign random projection; collision prob = 1 - angle/pi
+  kCauchy = 1,  ///< sign Cauchy projection; related to chi-squared similarity
+};
+
+class RandomProjection {
+ public:
+  /// Draws `bits` random d-dimensional projection vectors. The paper sets
+  /// bits to a multiple of 32 so codes pack into u32 words.
+  RandomProjection(size_t dim, size_t bits,
+                   ProjectionKind kind = ProjectionKind::kNormal,
+                   uint64_t seed = 20200312);
+
+  size_t dim() const { return dim_; }
+  size_t bits() const { return bits_; }
+
+  /// Encodes one vector into the `row`-th code of `codes`.
+  void EncodeInto(const float* vec, BinaryCodes* codes, idx_t row) const;
+
+  /// Encodes a whole dataset.
+  BinaryCodes EncodeDataset(const Dataset& data,
+                            size_t num_threads = 0) const;
+
+  /// Bytes of the projection matrix itself (kept on the host in the paper's
+  /// deployment; queries are hashed before transfer).
+  size_t MemoryBytes() const { return projections_.size() * sizeof(float); }
+
+ private:
+  size_t dim_;
+  size_t bits_;
+  /// bits_ x dim_ row-major projection matrix.
+  std::vector<float> projections_;
+};
+
+}  // namespace song
+
+#endif  // SONG_HASHING_RANDOM_PROJECTION_H_

@@ -1,0 +1,55 @@
+#include "song/batch_engine.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "core/thread_pool.h"
+#include "core/timer.h"
+
+namespace song {
+
+BatchEngine::BatchEngine(const SongSearcher* searcher, size_t num_threads)
+    : searcher_(searcher),
+      num_threads_(num_threads != 0
+                       ? num_threads
+                       : std::max(1u, std::thread::hardware_concurrency())) {
+  SONG_CHECK(searcher != nullptr);
+}
+
+BatchResult BatchEngine::Search(const Dataset& queries, size_t k,
+                                const SongSearchOptions& options) const {
+  BatchResult batch;
+  batch.num_queries = queries.num();
+  batch.results.resize(queries.num());
+  batch.latencies_us.resize(queries.num());
+
+  std::vector<SongWorkspace> workspaces(num_threads_);
+  std::vector<SearchStats> thread_stats(num_threads_);
+
+  Timer timer;
+  ParallelFor(queries.num(), num_threads_, [&](size_t qi, size_t tid) {
+    Timer query_timer;
+    batch.results[qi] =
+        searcher_->Search(queries.Row(static_cast<idx_t>(qi)), k, options,
+                          &workspaces[tid], &thread_stats[tid]);
+    batch.latencies_us[qi] = static_cast<float>(query_timer.ElapsedMicros());
+  });
+  batch.wall_seconds = timer.ElapsedSeconds();
+
+  for (const SearchStats& s : thread_stats) batch.stats.Add(s);
+  return batch;
+}
+
+double BatchResult::LatencyPercentileUs(double p) const {
+  if (latencies_us.empty()) return 0.0;
+  std::vector<float> sorted = latencies_us;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = std::clamp(p, 0.0, 100.0) / 100.0 *
+                      static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace song

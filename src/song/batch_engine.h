@@ -1,0 +1,69 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// Batched query execution. On the GPU each query (or multi-query group)
+// occupies a warp; here each worker thread plays the role of a stream of
+// warps. This engine produces (a) real wall-clock throughput — the paper's
+// "SONG-cpu" of Fig 15 — and (b) aggregate work counters that the GPU cost
+// model converts into simulated kernel time.
+
+#ifndef SONG_SONG_BATCH_ENGINE_H_
+#define SONG_SONG_BATCH_ENGINE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dataset.h"
+#include "song/song_searcher.h"
+
+namespace song {
+
+struct BatchResult {
+  std::vector<std::vector<Neighbor>> results;
+  /// Counters summed over all queries (capacity fields hold maxima).
+  SearchStats stats;
+  double wall_seconds = 0.0;
+  size_t num_queries = 0;
+  /// Per-query service times in microseconds (same order as `results`).
+  std::vector<float> latencies_us;
+
+  double Qps() const {
+    return wall_seconds > 0.0 ? static_cast<double>(num_queries) /
+                                    wall_seconds
+                              : 0.0;
+  }
+
+  /// Latency percentile in microseconds; p in [0, 100]. Returns 0 when no
+  /// latencies were recorded.
+  double LatencyPercentileUs(double p) const;
+
+  /// Id-only view for recall evaluation.
+  std::vector<std::vector<idx_t>> Ids() const {
+    std::vector<std::vector<idx_t>> ids(results.size());
+    for (size_t q = 0; q < results.size(); ++q) {
+      ids[q].reserve(results[q].size());
+      for (const Neighbor& n : results[q]) ids[q].push_back(n.id);
+    }
+    return ids;
+  }
+};
+
+class BatchEngine {
+ public:
+  /// `searcher` must outlive the engine. 0 threads = hardware concurrency.
+  explicit BatchEngine(const SongSearcher* searcher, size_t num_threads = 0);
+
+  /// Runs every query in `queries`, returning results, wall time and
+  /// aggregated counters.
+  BatchResult Search(const Dataset& queries, size_t k,
+                     const SongSearchOptions& options) const;
+
+  size_t num_threads() const { return num_threads_; }
+
+ private:
+  const SongSearcher* searcher_;
+  size_t num_threads_;
+};
+
+}  // namespace song
+
+#endif  // SONG_SONG_BATCH_ENGINE_H_

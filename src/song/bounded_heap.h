@@ -1,0 +1,275 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// Bounded double-ended priority queue built on a symmetric min-max heap
+// (Arvind & Rangan 1999), exactly the structure the paper uses for the
+// bounded queue optimization (§IV-C): fixed capacity decided up front (no
+// dynamic allocation — catastrophic on GPU), O(log n) insert, pop-min and
+// pop-max, so the queue can evict its worst element once it reaches the
+// search width K (paper Observation 1 shows nothing beyond the first K
+// entries is ever used).
+
+#ifndef SONG_SONG_BOUNDED_HEAP_H_
+#define SONG_SONG_BOUNDED_HEAP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/logging.h"
+#include "core/types.h"
+
+namespace song {
+
+/// Symmetric min-max heap over Neighbor (ordered by distance, ties on id).
+/// 1-indexed array; slot 1 is an unused dummy root, elements live at
+/// positions [2, size+1].
+///
+/// Invariants (for every occupied position j >= 4, with gp = j/4):
+///   * sibling order:  H[j-1] <= H[j] when j is odd (right sibling)
+///   * grandparent:    H[2*gp] <= H[j] <= H[2*gp+1]
+/// which make H[2] the minimum and H[3] the maximum.
+class SymmetricMinMaxHeap {
+ public:
+  /// `capacity` is the fixed maximum element count (allocated once).
+  explicit SymmetricMinMaxHeap(size_t capacity = 0) { Reset(capacity); }
+
+  /// Re-initializes for a new query with the given capacity.
+  void Reset(size_t capacity) {
+    capacity_ = capacity;
+    size_ = 0;
+    slots_.assign(capacity + 2, Neighbor());
+  }
+
+  /// Clears contents, keeping capacity.
+  void Clear() { size_ = 0; }
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ >= capacity_; }
+
+  const Neighbor& Min() const {
+    SONG_DCHECK(size_ > 0);
+    return slots_[2];
+  }
+  const Neighbor& Max() const {
+    SONG_DCHECK(size_ > 0);
+    return size_ == 1 ? slots_[2] : slots_[3];
+  }
+
+  /// Inserts; caller must ensure !full().
+  void Push(const Neighbor& x) {
+    SONG_DCHECK(size_ < capacity_);
+    size_t j = size_ + 2;
+    slots_[j] = x;
+    ++size_;
+    BubbleUp(j);
+  }
+
+  /// Inserts, evicting the current maximum if at capacity. Returns false if
+  /// x was rejected (x itself is not better than the maximum).
+  bool PushBounded(const Neighbor& x, Neighbor* evicted = nullptr) {
+    if (!full()) {
+      Push(x);
+      return true;
+    }
+    if (!(x < Max())) return false;
+    if (evicted != nullptr) *evicted = Max();
+    PopMax();
+    Push(x);
+    return true;
+  }
+
+  Neighbor PopMin() {
+    SONG_DCHECK(size_ > 0);
+    return PopAt(2);
+  }
+
+  Neighbor PopMax() {
+    SONG_DCHECK(size_ > 0);
+    return size_ == 1 ? PopAt(2) : PopAt(3);
+  }
+
+  /// Validates every heap invariant (test hook).
+  bool CheckInvariants() const {
+    const size_t last = size_ + 1;
+    for (size_t j = 3; j <= last; j += 2) {  // odd = right siblings
+      if (!(slots_[j - 1] < slots_[j]) && !(slots_[j - 1] == slots_[j])) {
+        return false;
+      }
+    }
+    for (size_t j = 4; j <= last; ++j) {
+      const size_t gp = j / 4;
+      if (gp < 1) continue;
+      if (slots_[j] < slots_[2 * gp]) return false;
+      if (2 * gp + 1 <= last && slots_[2 * gp + 1] < slots_[j]) return false;
+    }
+    return true;
+  }
+
+ private:
+  // Removes the element at `hole` (2 = min side, 3 = max side), refilling
+  // along the corresponding spine and re-inserting the last element.
+  Neighbor PopAt(size_t hole) {
+    const Neighbor result = slots_[hole];
+    const size_t last = size_ + 1;
+    const Neighbor x = slots_[last];
+    --size_;
+    if (hole == last) return result;
+
+    size_t j = hole;
+    if (hole == 2) {
+      // Min spine: the direct successors of min-slot j are the left children
+      // of j's parent's grandchild pairs: positions 2j and 2j+2.
+      for (;;) {
+        const size_t c1 = 2 * j;
+        const size_t c2 = 2 * j + 2;
+        size_t m = 0;
+        if (c1 <= size_ + 1) m = c1;
+        if (c2 <= size_ + 1 && (m == 0 || slots_[c2] < slots_[m])) m = c2;
+        if (m == 0) break;
+        slots_[j] = slots_[m];
+        j = m;
+      }
+    } else {
+      // Max spine: successors are the larger element of pairs
+      // {2j-2, 2j-1} and {2j, 2j+1}.
+      for (;;) {
+        size_t m = 0;
+        m = PairMaxPos(2 * j - 2);
+        const size_t m2 = PairMaxPos(2 * j);
+        if (m2 != 0 && (m == 0 || slots_[m] < slots_[m2])) m = m2;
+        if (m == 0) break;
+        slots_[j] = slots_[m];
+        j = m;
+      }
+    }
+    slots_[j] = x;
+    BubbleUp(j);
+    return result;
+  }
+
+  // Position of the larger element in the sibling pair starting at even
+  // position `left`, or 0 if the pair is empty / out of range.
+  size_t PairMaxPos(size_t left) const {
+    const size_t last = size_ + 1;
+    if (left > last || left < 2) return 0;
+    if (left + 1 <= last) return left + 1;  // right sibling is the larger
+    return left;
+  }
+
+  void BubbleUp(size_t j) {
+    const size_t last = size_ + 1;
+    // Sibling fix.
+    if ((j & 1) != 0) {  // right sibling
+      if (j - 1 >= 2 && slots_[j] < slots_[j - 1]) {
+        std::swap(slots_[j], slots_[j - 1]);
+        j = j - 1;
+      }
+    } else {
+      if (j + 1 <= last && slots_[j + 1] < slots_[j]) {
+        std::swap(slots_[j], slots_[j + 1]);
+        j = j + 1;
+      }
+    }
+    // Grandparent fixes.
+    for (;;) {
+      const size_t gp = j / 4;
+      if (gp < 1) break;
+      if (slots_[j] < slots_[2 * gp]) {
+        std::swap(slots_[j], slots_[2 * gp]);
+        j = 2 * gp;
+      } else if (2 * gp + 1 <= last && slots_[2 * gp + 1] < slots_[j]) {
+        std::swap(slots_[j], slots_[2 * gp + 1]);
+        j = 2 * gp + 1;
+      } else {
+        break;
+      }
+    }
+  }
+
+  size_t capacity_ = 0;
+  size_t size_ = 0;
+  std::vector<Neighbor> slots_;
+};
+
+/// The paper's `topk` structure: a bounded max-heap holding the best `k`
+/// results seen so far (classic binary heap; only eviction of the maximum
+/// is needed, never pop-min).
+class BoundedMaxHeap {
+ public:
+  explicit BoundedMaxHeap(size_t capacity = 0) { Reset(capacity); }
+
+  void Reset(size_t capacity) {
+    capacity_ = capacity;
+    heap_.clear();
+    heap_.reserve(capacity);
+  }
+
+  size_t size() const { return heap_.size(); }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return heap_.empty(); }
+  bool full() const { return heap_.size() >= capacity_; }
+
+  const Neighbor& Max() const {
+    SONG_DCHECK(!heap_.empty());
+    return heap_[0];
+  }
+
+  /// Inserts, evicting the maximum when full. Returns false if rejected.
+  bool PushBounded(const Neighbor& x, Neighbor* evicted = nullptr) {
+    if (!full()) {
+      heap_.push_back(x);
+      SiftUp(heap_.size() - 1);
+      return true;
+    }
+    if (!(x < heap_[0])) return false;
+    if (evicted != nullptr) *evicted = heap_[0];
+    heap_[0] = x;
+    SiftDown(0);
+    return true;
+  }
+
+  /// Destructively extracts contents sorted ascending by distance.
+  std::vector<Neighbor> TakeSorted() {
+    std::vector<Neighbor> out(heap_.size());
+    for (size_t i = heap_.size(); i-- > 0;) {
+      out[i] = heap_[0];
+      heap_[0] = heap_.back();
+      heap_.pop_back();
+      if (!heap_.empty()) SiftDown(0);
+    }
+    return out;
+  }
+
+  const std::vector<Neighbor>& raw() const { return heap_; }
+
+ private:
+  void SiftUp(size_t i) {
+    while (i > 0) {
+      const size_t parent = (i - 1) / 2;
+      if (!(heap_[parent] < heap_[i])) break;
+      std::swap(heap_[parent], heap_[i]);
+      i = parent;
+    }
+  }
+
+  void SiftDown(size_t i) {
+    for (;;) {
+      const size_t l = 2 * i + 1;
+      const size_t r = 2 * i + 2;
+      size_t largest = i;
+      if (l < heap_.size() && heap_[largest] < heap_[l]) largest = l;
+      if (r < heap_.size() && heap_[largest] < heap_[r]) largest = r;
+      if (largest == i) break;
+      std::swap(heap_[i], heap_[largest]);
+      i = largest;
+    }
+  }
+
+  size_t capacity_ = 0;
+  std::vector<Neighbor> heap_;
+};
+
+}  // namespace song
+
+#endif  // SONG_SONG_BOUNDED_HEAP_H_

@@ -1,0 +1,168 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// Cuckoo filter (Fan et al., CoNEXT 2014): the probabilistic visited-set
+// alternative that supports deletion, which the paper picks to validate the
+// visited-deletion optimization (§IV-E) — a Bloom filter cannot delete.
+// Partial-key cuckoo hashing: 16-bit fingerprints, buckets of 4, the second
+// bucket derived as i2 = i1 ^ hash(fingerprint).
+
+#ifndef SONG_SONG_CUCKOO_FILTER_H_
+#define SONG_SONG_CUCKOO_FILTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/random.h"
+#include "core/types.h"
+
+namespace song {
+
+class CuckooFilter {
+ public:
+  static constexpr size_t kBucketSize = 4;
+  static constexpr size_t kMaxKicks = 256;
+
+  /// `capacity` = number of keys to hold; bucket count is the next power of
+  /// two with ~84% max load headroom.
+  explicit CuckooFilter(size_t capacity = 64) { Reset(capacity); }
+
+  void Reset(size_t capacity) {
+    size_t buckets = 4;
+    while (buckets * kBucketSize * 84 / 100 < capacity) buckets <<= 1;
+    buckets_.assign(buckets * kBucketSize, kEmptyFp);
+    bucket_mask_ = buckets - 1;
+    size_ = 0;
+    kick_state_ = 0x243f6a8885a308d3ULL;
+  }
+
+  void Clear() {
+    std::fill(buckets_.begin(), buckets_.end(), kEmptyFp);
+    size_ = 0;
+  }
+
+  size_t size() const { return size_; }
+  size_t MemoryBytes() const { return buckets_.size() * sizeof(uint16_t); }
+
+  bool Contains(idx_t key) const {
+    const uint16_t fp = Fingerprint(key);
+    const size_t i1 = IndexHash(key);
+    if (BucketHas(i1, fp)) return true;
+    const size_t i2 = AltIndex(i1, fp);
+    return BucketHas(i2, fp);
+  }
+
+  /// Inserts `key`. Returns false when the filter is saturated (insert
+  /// failed after kMaxKicks evictions) — callers treat this like a false
+  /// positive: the vertex is considered visited.
+  bool Insert(idx_t key) {
+    uint16_t fp = Fingerprint(key);
+    const size_t i1 = IndexHash(key);
+    if (PlaceInBucket(i1, fp)) {
+      ++size_;
+      return true;
+    }
+    const size_t i2 = AltIndex(i1, fp);
+    if (PlaceInBucket(i2, fp)) {
+      ++size_;
+      return true;
+    }
+    // Kick a random resident fingerprint to its alternate bucket.
+    size_t i = (SplitMix64(kick_state_) & 1) != 0 ? i1 : i2;
+    for (size_t kick = 0; kick < kMaxKicks; ++kick) {
+      const size_t victim_slot =
+          i * kBucketSize + (SplitMix64(kick_state_) % kBucketSize);
+      std::swap(fp, buckets_[victim_slot]);
+      i = AltIndex(i, fp);
+      if (PlaceInBucket(i, fp)) {
+        ++size_;
+        return true;
+      }
+    }
+    // Saturated: put the homeless fingerprint back is impossible; report
+    // failure (one prior key now has a single-bucket copy, which only makes
+    // Contains MORE likely to answer true — still no false negatives).
+    return false;
+  }
+
+  /// Deletes one copy of `key`'s fingerprint. Returns true if found.
+  bool Erase(idx_t key) {
+    const uint16_t fp = Fingerprint(key);
+    const size_t i1 = IndexHash(key);
+    if (RemoveFromBucket(i1, fp)) {
+      --size_;
+      return true;
+    }
+    const size_t i2 = AltIndex(i1, fp);
+    if (RemoveFromBucket(i2, fp)) {
+      --size_;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  static constexpr uint16_t kEmptyFp = 0;
+
+  static uint64_t Mix(uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+  }
+
+  static uint16_t Fingerprint(idx_t key) {
+    const uint16_t fp = static_cast<uint16_t>(Mix(uint64_t{key} + 1) & 0xffff);
+    return fp == kEmptyFp ? 1 : fp;  // reserve 0 for "empty"
+  }
+
+  size_t IndexHash(idx_t key) const {
+    return static_cast<size_t>(Mix(uint64_t{key} * 0x517cc1b727220a95ULL)) &
+           bucket_mask_;
+  }
+
+  size_t AltIndex(size_t index, uint16_t fp) const {
+    return (index ^ static_cast<size_t>(Mix(fp))) & bucket_mask_;
+  }
+
+  bool BucketHas(size_t bucket, uint16_t fp) const {
+    const uint16_t* b = &buckets_[bucket * kBucketSize];
+    for (size_t s = 0; s < kBucketSize; ++s) {
+      if (b[s] == fp) return true;
+    }
+    return false;
+  }
+
+  bool PlaceInBucket(size_t bucket, uint16_t fp) {
+    uint16_t* b = &buckets_[bucket * kBucketSize];
+    for (size_t s = 0; s < kBucketSize; ++s) {
+      if (b[s] == kEmptyFp) {
+        b[s] = fp;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool RemoveFromBucket(size_t bucket, uint16_t fp) {
+    uint16_t* b = &buckets_[bucket * kBucketSize];
+    for (size_t s = 0; s < kBucketSize; ++s) {
+      if (b[s] == fp) {
+        b[s] = kEmptyFp;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<uint16_t> buckets_;
+  size_t bucket_mask_ = 0;
+  size_t size_ = 0;
+  uint64_t kick_state_ = 0;
+};
+
+}  // namespace song
+
+#endif  // SONG_SONG_CUCKOO_FILTER_H_

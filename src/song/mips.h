@@ -1,0 +1,45 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// Maximum inner product search (MIPS) support. The paper's related-work
+// section (§IX) notes that "the recent MIPS method [Zhou et al., NeurIPS
+// 2019] has adopted SONG as the underlying algorithm" — that method builds
+// the proximity graph over Möbius-transformed points (x -> x / ||x||^2) so
+// that graph neighbors approximate inner-product neighbors, then searches
+// with the negated inner product against the ORIGINAL vectors.
+//
+// Two MIPS routes are supported here:
+//   1. direct: build the NSW graph with Metric::kInnerProduct (works, but
+//      IP is not a metric — graph quality suffers on skewed norms);
+//   2. Möbius: MobiusTransform() the data, build an L2 graph over the
+//      transformed points, search that graph with kInnerProduct distances
+//      via SongSearcher on the original data (same topology, IP scoring).
+
+#ifndef SONG_SONG_MIPS_H_
+#define SONG_SONG_MIPS_H_
+
+#include <cmath>
+
+#include "core/dataset.h"
+
+namespace song {
+
+/// Möbius transformation: x -> x / ||x||^2. Zero vectors map to zero.
+inline Dataset MobiusTransform(const Dataset& data) {
+  Dataset out(data.num(), data.dim());
+  const size_t dim = data.dim();
+  std::vector<float> row(dim);
+  for (size_t i = 0; i < data.num(); ++i) {
+    const float* src = data.Row(static_cast<idx_t>(i));
+    double norm_sq = 0.0;
+    for (size_t d = 0; d < dim; ++d) norm_sq += double{src[d]} * src[d];
+    const float inv =
+        norm_sq > 0.0 ? static_cast<float>(1.0 / norm_sq) : 0.0f;
+    for (size_t d = 0; d < dim; ++d) row[d] = src[d] * inv;
+    out.SetRow(static_cast<idx_t>(i), row.data());
+  }
+  return out;
+}
+
+}  // namespace song
+
+#endif  // SONG_SONG_MIPS_H_

@@ -1,0 +1,144 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// Open-addressing hash set of vertex ids (paper §IV-B). Separate chaining
+// needs dynamic allocation, which is catastrophic on GPU, so the `visited`
+// set uses a fixed-length array with linear probing. On the GPU the probe is
+// parallelized across the warp ("probing one memory location for each thread
+// in a warp is usually sufficient"); here the probe loop is sequential but
+// the probe count is surfaced so the cost model can account for warp-wide
+// probing. Deletion uses tombstones, keeping the constant-time deletion the
+// visited-deletion optimization (§IV-E) relies on.
+
+#ifndef SONG_SONG_OPEN_ADDRESSING_SET_H_
+#define SONG_SONG_OPEN_ADDRESSING_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/logging.h"
+#include "core/types.h"
+
+namespace song {
+
+class OpenAddressingSet {
+ public:
+  /// `capacity` is the number of elements the set must be able to hold; the
+  /// slot array is sized to the next power of two >= 2 * capacity to keep
+  /// the load factor <= 0.5.
+  explicit OpenAddressingSet(size_t capacity = 0) { Reset(capacity); }
+
+  void Reset(size_t capacity) {
+    min_capacity_ = capacity;
+    size_t slots = 16;
+    while (slots < 2 * capacity) slots <<= 1;
+    slots_.assign(slots, kEmpty);
+    mask_ = slots - 1;
+    size_ = 0;
+    probes_ = 0;
+  }
+
+  /// Clears contents, keeping allocation.
+  void Clear() {
+    std::fill(slots_.begin(), slots_.end(), kEmpty);
+    size_ = 0;
+  }
+
+  size_t size() const { return size_; }
+  size_t slot_count() const { return slots_.size(); }
+  bool full() const { return size_ >= min_capacity_; }
+
+  /// Bytes of the slot array — what the GPU would reserve per query.
+  size_t MemoryBytes() const { return slots_.size() * sizeof(idx_t); }
+
+  /// Cumulative probe count (cost-model hook).
+  size_t probes() const { return probes_; }
+
+  bool Contains(idx_t key) const {
+    size_t i = Hash(key) & mask_;
+    for (size_t step = 0; step < slots_.size(); ++step) {
+      ++probes_;
+      const idx_t slot = slots_[i];
+      if (slot == key) return true;
+      if (slot == kEmpty) return false;  // tombstones keep probing
+      i = (i + 1) & mask_;
+    }
+    return false;
+  }
+
+  /// Inserts `key`. Returns false if already present or the table is at its
+  /// element capacity (the searcher treats that as "visited" to stay safe).
+  bool Insert(idx_t key) {
+    if (size_ >= min_capacity_) {
+      return !Contains(key) && InsertOverflow(key);
+    }
+    size_t i = Hash(key) & mask_;
+    size_t first_tombstone = kNoSlot;
+    for (size_t step = 0; step < slots_.size(); ++step) {
+      ++probes_;
+      const idx_t slot = slots_[i];
+      if (slot == key) return false;
+      if (slot == kEmpty) {
+        const size_t target = first_tombstone != kNoSlot ? first_tombstone : i;
+        slots_[target] = key;
+        ++size_;
+        return true;
+      }
+      if (slot == kTombstone && first_tombstone == kNoSlot) {
+        first_tombstone = i;
+      }
+      i = (i + 1) & mask_;
+    }
+    if (first_tombstone != kNoSlot) {
+      slots_[first_tombstone] = key;
+      ++size_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Removes `key`. Returns true if it was present.
+  bool Erase(idx_t key) {
+    size_t i = Hash(key) & mask_;
+    for (size_t step = 0; step < slots_.size(); ++step) {
+      ++probes_;
+      const idx_t slot = slots_[i];
+      if (slot == key) {
+        slots_[i] = kTombstone;
+        --size_;
+        return true;
+      }
+      if (slot == kEmpty) return false;
+      i = (i + 1) & mask_;
+    }
+    return false;
+  }
+
+ private:
+  static constexpr idx_t kEmpty = kInvalidIdx;
+  static constexpr idx_t kTombstone = kInvalidIdx - 1;
+  static constexpr size_t kNoSlot = ~size_t{0};
+
+  // Fibonacci-style multiplicative hash.
+  static size_t Hash(idx_t key) {
+    uint64_t x = key;
+    x *= 0x9e3779b97f4a7c15ULL;
+    x ^= x >> 29;
+    return static_cast<size_t>(x);
+  }
+
+  // The table is "full" by element count but a slot may still be free;
+  // behave gracefully instead of spinning (GPU code would have aborted the
+  // insert the same way).
+  bool InsertOverflow(idx_t) { return false; }
+
+  std::vector<idx_t> slots_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+  size_t min_capacity_ = 0;
+  mutable size_t probes_ = 0;
+};
+
+}  // namespace song
+
+#endif  // SONG_SONG_OPEN_ADDRESSING_SET_H_

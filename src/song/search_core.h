@@ -1,0 +1,238 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// Distance-agnostic core of the SONG 3-stage pipeline. Instantiated with a
+// float distance callable over vertex ids, it serves both the dense float
+// searcher (src/song/song_searcher.*) and the Hamming searcher over 1-bit
+// random-projection codes (src/hashing/, paper §VII) — on the GPU these are
+// the same kernel with a different bulk-distance routine.
+
+#ifndef SONG_SONG_SEARCH_CORE_H_
+#define SONG_SONG_SEARCH_CORE_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "core/types.h"
+#include "graph/fixed_degree_graph.h"
+#include "song/bounded_heap.h"
+#include "song/search_options.h"
+#include "song/visited_table.h"
+
+namespace song {
+
+/// Reusable per-thread scratch space (no allocation on the search hot path
+/// once warmed — mirroring the kernel's fixed shared-memory layout).
+class SongWorkspace {
+ public:
+  SymmetricMinMaxHeap q;
+  BoundedMaxHeap topk;
+  VisitedTable visited;
+  std::vector<idx_t> candidates;
+  std::vector<float> dists;
+};
+
+namespace internal {
+
+/// Auto-sizes the exact-structure visited capacity (paper §IV-A: "the length
+/// is proportional to the searching parameter K and can be pre-computed").
+inline size_t AutoHashCapacity(const SongSearchOptions& options,
+                               size_t queue_size, size_t num_points) {
+  if (options.structure == VisitedStructure::kEpochArray) {
+    return num_points;  // dense stamp array covers every vertex id
+  }
+  if (options.hash_capacity != 0) return options.hash_capacity;
+  size_t cap;
+  if (options.visited_deletion) {
+    // visited ⊆ q ∪ topk, so 2 * queue_size (+ slack for in-flight batch).
+    cap = 2 * queue_size + 64;
+  } else if (options.selected_insertion) {
+    // Insertions are filtered but never reclaimed.
+    cap = 16 * queue_size + 256;
+  } else {
+    // Unbounded in principle (global-memory table in the paper).
+    cap = 64 * queue_size + 1024;
+  }
+  return std::min(cap, num_points + 1);
+}
+
+}  // namespace internal
+
+/// Runs the decoupled search (candidate locating -> bulk distance ->
+/// maintenance) and returns the k closest vertices found, ascending.
+///
+/// `distance(v)` returns the query-to-vertex score (smaller = closer);
+/// `point_bytes` is the per-vertex payload fetched by the bulk-distance
+/// stage (for memory-traffic accounting).
+template <typename DistanceFn>
+std::vector<Neighbor> SongSearchCore(const FixedDegreeGraph& graph,
+                                     idx_t entry, size_t num_points,
+                                     size_t point_bytes, DistanceFn&& distance,
+                                     size_t k,
+                                     const SongSearchOptions& options,
+                                     SongWorkspace* workspace,
+                                     SearchStats* stats) {
+  const size_t ef = std::max(options.queue_size, k);
+  const size_t degree = graph.degree();
+  const size_t multi_step = std::max<size_t>(1, options.multi_step_probe);
+  const bool deletion_ok =
+      options.visited_deletion &&
+      options.structure != VisitedStructure::kBloomFilter;
+
+  SymmetricMinMaxHeap& q = workspace->q;
+  BoundedMaxHeap& topk = workspace->topk;
+  VisitedTable& visited = workspace->visited;
+  std::vector<idx_t>& candidates = workspace->candidates;
+  std::vector<float>& dists = workspace->dists;
+
+  // --- Initialization (fixed-size allocations; reused across queries). ---
+  if (q.capacity() != ef) {
+    q.Reset(ef);
+  } else {
+    q.Clear();
+  }
+  topk.Reset(ef);
+  const size_t hash_capacity =
+      internal::AutoHashCapacity(options, ef, num_points);
+  visited.Reset(options.structure, hash_capacity, options.bloom_bits);
+  candidates.clear();
+  candidates.reserve(degree * multi_step);
+  dists.clear();
+  dists.reserve(degree * multi_step);
+
+  SearchStats local;
+  local.visited_capacity_bytes = visited.MemoryBytes();
+  local.queue_bytes = (ef + 2 + ef) * sizeof(Neighbor);
+
+  const float entry_dist = distance(entry);
+  ++local.distance_computations;
+  local.data_bytes_loaded += point_bytes;
+  visited.Insert(entry);
+  ++local.visited_insertions;
+  q.Push(Neighbor(entry_dist, entry));
+  ++local.q_pushes;
+
+  // --- Main loop: one 3-stage round per iteration. ---
+  while (!q.empty()) {
+    ++local.iterations;
+
+    // ---- Stage 1: candidate locating. ----
+    candidates.clear();
+    bool terminate = false;
+    for (size_t step = 0; step < multi_step && !q.empty(); ++step) {
+      const Neighbor now = q.Min();
+      // Algorithm 1 line 4-5 terminates on STRICTLY greater distance
+      // ("topk.peek_max() < now_dist"): equal-distance vertices are still
+      // expanded. This matters for coarse (integer Hamming) distances where
+      // plateaus of ties are common.
+      if (topk.full() && now.dist > topk.Max().dist) {
+        if (step == 0) terminate = true;
+        break;
+      }
+      q.PopMin();
+      ++local.q_pops;
+      ++local.vertices_expanded;
+
+      Neighbor evicted;
+      const bool had_eviction = topk.full();
+      const bool entered_topk = topk.PushBounded(now, &evicted);
+      ++local.topk_pushes;
+      if (entered_topk && had_eviction) {
+        ++local.topk_evictions;
+        if (deletion_ok) {
+          visited.Erase(evicted.id);
+          ++local.visited_deletions;
+        }
+      }
+      // Note: a popped vertex that failed to enter topk is always an exact
+      // distance tie with topk.Max() (strictly worse ones terminate above).
+      // It stays in `visited` — §IV-E's deletion rule only covers vertices
+      // strictly worse than the whole top-K, and erasing a tie here could
+      // let two tied neighbors re-enqueue each other forever.
+      (void)entered_topk;
+
+      const idx_t* row = graph.Row(now.id);
+      ++local.graph_rows_loaded;
+      local.graph_bytes_loaded += degree * sizeof(idx_t);
+      for (size_t i = 0; i < degree && row[i] != kInvalidIdx; ++i) {
+        const idx_t v = row[i];
+        ++local.visited_tests;
+        if (visited.Test(v)) continue;
+        // Dedupe within the batch (multi-step pops can share neighbors; the
+        // GPU kernel performs the same warp-local check to preserve queue
+        // integrity).
+        bool duplicate = false;
+        for (const idx_t c : candidates) {
+          if (c == v) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (!duplicate) candidates.push_back(v);
+      }
+    }
+    if (terminate) break;
+    if (candidates.empty()) continue;
+
+    // ---- Stage 2: bulk distance computation. ----
+    dists.resize(candidates.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      dists[i] = distance(candidates[i]);
+    }
+    local.distance_computations += candidates.size();
+    local.data_bytes_loaded += candidates.size() * point_bytes;
+
+    // ---- Stage 3: data structure maintenance (single logical thread). ----
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      const Neighbor cand(dists[i], candidates[i]);
+      if (options.selected_insertion && topk.full() &&
+          cand.dist > topk.Max().dist) {
+        // §IV-D: strictly worse than every current top-K candidate — leave
+        // unmarked; it may be re-computed later but will be filtered again.
+        ++local.selected_insertion_skips;
+        continue;
+      }
+      // Mark BEFORE enqueueing: every vertex in q must be tracked in
+      // `visited`, otherwise a saturated table lets vertices re-enter the
+      // queue forever (livelock). A failed insert (saturated structure)
+      // skips the vertex — recall degrades gracefully instead.
+      if (!visited.Insert(cand.id)) {
+        ++local.visited_insert_failures;
+        continue;
+      }
+      ++local.visited_insertions;
+      Neighbor evicted;
+      const bool had_eviction = q.full();
+      const bool accepted = q.PushBounded(cand, &evicted);
+      if (!accepted) {
+        // Bounded queue rejects it (worse than everything enqueued).
+        ++local.q_rejections;
+        if (deletion_ok) {
+          // §IV-E invariant (visited = q ∪ topk): a never-enqueued vertex
+          // leaves the table; it may be re-computed and re-filtered later.
+          visited.Erase(cand.id);
+          ++local.visited_deletions;
+        }
+        continue;
+      }
+      ++local.q_pushes;
+      if (had_eviction) {
+        ++local.q_evictions;
+        if (deletion_ok) {
+          visited.Erase(evicted.id);
+          ++local.visited_deletions;
+        }
+      }
+      local.peak_visited_size =
+          std::max(local.peak_visited_size, visited.size());
+    }
+  }
+
+  std::vector<Neighbor> result = topk.TakeSorted();
+  if (result.size() > k) result.resize(k);
+  if (stats != nullptr) stats->Add(local);
+  return result;
+}
+
+}  // namespace song
+
+#endif  // SONG_SONG_SEARCH_CORE_H_

@@ -1,0 +1,157 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// Knobs and instrumentation for the SONG search pipeline. The option set
+// mirrors the paper's §IV/§V parameter space: visited structure, selected
+// insertion, visited deletion, queue size (the recall knob), multi-query in
+// a warp, and multi-step probing.
+
+#ifndef SONG_SONG_SEARCH_OPTIONS_H_
+#define SONG_SONG_SEARCH_OPTIONS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "song/visited_table.h"
+
+namespace song {
+
+struct SongSearchOptions {
+  /// Capacity of the bounded priority queues — the paper's searching
+  /// parameter K / "priority queue size", swept to trade QPS for recall.
+  /// Clamped up to the number of requested results at search time.
+  size_t queue_size = 64;
+
+  /// Which structure backs the visited set (§IV-B / §IV-E).
+  VisitedStructure structure = VisitedStructure::kHashTable;
+
+  /// §IV-D: only mark a vertex visited (and enqueue it) when it currently
+  /// ranks among the top-queue_size candidates; trades recomputed distances
+  /// for a smaller visited set.
+  bool selected_insertion = false;
+
+  /// §IV-E: delete vertices from `visited` once they can no longer affect
+  /// the result, bounding the table by 2 * queue_size. Requires a structure
+  /// with deletion (hash table or Cuckoo filter).
+  bool visited_deletion = false;
+
+  /// §V: queries sharing a warp (1, 2 or 4). Executed independently here;
+  /// the GPU cost model divides per-warp compute lanes accordingly.
+  size_t multi_query = 1;
+
+  /// §V: vertices extracted from the queue per iteration (1 = Algorithm 1).
+  size_t multi_step_probe = 1;
+
+  /// Element capacity of the open-addressing / cuckoo visited structure.
+  /// 0 = auto: 2*queue_size(+slack) when visited_deletion is on, otherwise
+  /// a generous multiple of queue_size (the structure lives in GPU global
+  /// memory in the paper's un-optimized configuration).
+  size_t hash_capacity = 0;
+
+  /// Bloom filter bit budget; 0 = the paper's ~300 u32 (9600 bits).
+  size_t bloom_bits = 0;
+
+  /// Presets matching the Fig 7 series names.
+  static SongSearchOptions HashTable() { return SongSearchOptions{}; }
+  static SongSearchOptions HashTableSel() {
+    SongSearchOptions o;
+    o.selected_insertion = true;
+    return o;
+  }
+  static SongSearchOptions HashTableSelDel() {
+    SongSearchOptions o;
+    o.selected_insertion = true;
+    o.visited_deletion = true;
+    return o;
+  }
+  static SongSearchOptions Bloom() {
+    SongSearchOptions o;
+    o.structure = VisitedStructure::kBloomFilter;
+    o.selected_insertion = true;
+    return o;
+  }
+  static SongSearchOptions Cuckoo() {
+    SongSearchOptions o;
+    o.structure = VisitedStructure::kCuckooFilter;
+    o.selected_insertion = true;
+    o.visited_deletion = true;
+    return o;
+  }
+  /// The CPU deployment (§VIII-I): a dense epoch-stamped visited array and
+  /// no recomputation trade-offs — on the host, memory is cheap and
+  /// distance recomputation is not.
+  static SongSearchOptions CpuEngineered() {
+    SongSearchOptions o;
+    o.structure = VisitedStructure::kEpochArray;
+    return o;
+  }
+
+  std::string Name() const {
+    std::string name = VisitedStructureName(structure);
+    if (structure == VisitedStructure::kHashTable) {
+      if (selected_insertion) name += "-sel";
+      if (visited_deletion) name += "-del";
+    }
+    return name;
+  }
+};
+
+/// Warp-level work counters collected during search. Each counter maps to a
+/// concrete GPU cost in gpusim::CostModel; they also serve as the
+/// computation-vs-memory trade-off evidence for the §IV-D/E optimizations.
+struct SearchStats {
+  // Stage 1 — candidate locating.
+  size_t iterations = 0;           ///< main-loop rounds (kernel iterations)
+  size_t vertices_expanded = 0;    ///< queue pops processed
+  size_t graph_rows_loaded = 0;    ///< fixed-degree rows fetched
+  size_t graph_bytes_loaded = 0;
+  size_t q_pops = 0;
+
+  // Stage 2 — bulk distance computation.
+  size_t distance_computations = 0;
+  size_t data_bytes_loaded = 0;    ///< candidate vectors fetched
+
+  // Stage 3 — data structure maintenance.
+  size_t q_pushes = 0;
+  size_t q_evictions = 0;
+  size_t q_rejections = 0;
+  size_t topk_pushes = 0;
+  size_t topk_evictions = 0;
+  size_t visited_tests = 0;
+  size_t visited_insertions = 0;
+  size_t visited_deletions = 0;
+  size_t visited_insert_failures = 0;  ///< saturated structure
+  size_t selected_insertion_skips = 0; ///< candidates filtered by §IV-D
+
+  // Memory accounting.
+  size_t visited_capacity_bytes = 0;  ///< allocated visited footprint
+  size_t peak_visited_size = 0;       ///< max live entries
+  size_t queue_bytes = 0;             ///< q + topk allocation
+
+  void Add(const SearchStats& other) {
+    iterations += other.iterations;
+    vertices_expanded += other.vertices_expanded;
+    graph_rows_loaded += other.graph_rows_loaded;
+    graph_bytes_loaded += other.graph_bytes_loaded;
+    q_pops += other.q_pops;
+    distance_computations += other.distance_computations;
+    data_bytes_loaded += other.data_bytes_loaded;
+    q_pushes += other.q_pushes;
+    q_evictions += other.q_evictions;
+    q_rejections += other.q_rejections;
+    topk_pushes += other.topk_pushes;
+    topk_evictions += other.topk_evictions;
+    visited_tests += other.visited_tests;
+    visited_insertions += other.visited_insertions;
+    visited_deletions += other.visited_deletions;
+    visited_insert_failures += other.visited_insert_failures;
+    selected_insertion_skips += other.selected_insertion_skips;
+    visited_capacity_bytes = std::max(visited_capacity_bytes,
+                                      other.visited_capacity_bytes);
+    peak_visited_size = std::max(peak_visited_size, other.peak_visited_size);
+    queue_bytes = std::max(queue_bytes, other.queue_bytes);
+  }
+};
+
+}  // namespace song
+
+#endif  // SONG_SONG_SEARCH_OPTIONS_H_

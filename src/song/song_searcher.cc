@@ -1,0 +1,35 @@
+#include "song/song_searcher.h"
+
+namespace song {
+
+SongSearcher::SongSearcher(const Dataset* data, const FixedDegreeGraph* graph,
+                           Metric metric, idx_t entry)
+    : data_(data), graph_(graph), metric_(metric), entry_(entry) {
+  SONG_CHECK(data != nullptr && graph != nullptr);
+  SONG_CHECK_MSG(data->num() == graph->num_vertices(),
+                 "dataset / graph size mismatch");
+  SONG_CHECK(entry < data->num());
+}
+
+std::vector<Neighbor> SongSearcher::Search(const float* query, size_t k,
+                                           const SongSearchOptions& options,
+                                           SearchStats* stats) const {
+  SongWorkspace workspace;
+  return Search(query, k, options, &workspace, stats);
+}
+
+std::vector<Neighbor> SongSearcher::Search(const float* query, size_t k,
+                                           const SongSearchOptions& options,
+                                           SongWorkspace* workspace,
+                                           SearchStats* stats) const {
+  SONG_DCHECK(workspace != nullptr);
+  const DistanceFunc dist = GetDistanceFunc(metric_);
+  const size_t dim = data_->dim();
+  const Dataset& data = *data_;
+  return SongSearchCore(
+      *graph_, entry_, data.num(), dim * sizeof(float),
+      [&](idx_t v) { return dist(query, data.Row(v), dim); }, k, options,
+      workspace, stats);
+}
+
+}  // namespace song

@@ -1,0 +1,64 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// The SONG search pipeline (paper §III–§VI) over dense float vectors:
+// Algorithm 1 decoupled into three stages per iteration —
+//   1. candidate locating      (pop best vertices, gather unvisited
+//                               neighbors from the fixed-degree graph)
+//   2. bulk distance computation (batched distances, the GPU warp-reduction
+//                               stage; on CPU a tight loop over candidates)
+//   3. data structure maintenance (bounded queues + visited updates by a
+//                               single logical thread)
+// with the bounded-queue (§IV-C), selected-insertion (§IV-D) and
+// visited-deletion (§IV-E) optimizations and the multi-query / multi-step
+// probing parameters (§V). The distance-agnostic core lives in
+// song/search_core.h; per-stage work counters feed the GPU cost model in
+// src/gpusim.
+
+#ifndef SONG_SONG_SONG_SEARCHER_H_
+#define SONG_SONG_SONG_SEARCHER_H_
+
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/distance.h"
+#include "core/types.h"
+#include "graph/fixed_degree_graph.h"
+#include "song/search_core.h"
+#include "song/search_options.h"
+
+namespace song {
+
+class SongSearcher {
+ public:
+  /// `data` and `graph` must outlive the searcher. `entry` is the default
+  /// starting vertex of Algorithm 1.
+  SongSearcher(const Dataset* data, const FixedDegreeGraph* graph,
+               Metric metric, idx_t entry = 0);
+
+  /// Top-k search for one query. `workspace` may be shared across calls on
+  /// the same thread; `stats` (optional) accumulates work counters.
+  std::vector<Neighbor> Search(const float* query, size_t k,
+                               const SongSearchOptions& options,
+                               SongWorkspace* workspace,
+                               SearchStats* stats = nullptr) const;
+
+  /// Convenience overload owning a transient workspace.
+  std::vector<Neighbor> Search(const float* query, size_t k,
+                               const SongSearchOptions& options,
+                               SearchStats* stats = nullptr) const;
+
+  const Dataset& data() const { return *data_; }
+  const FixedDegreeGraph& graph() const { return *graph_; }
+  Metric metric() const { return metric_; }
+  idx_t entry() const { return entry_; }
+
+ private:
+  const Dataset* data_;
+  const FixedDegreeGraph* graph_;
+  Metric metric_;
+  idx_t entry_;
+};
+
+}  // namespace song
+
+#endif  // SONG_SONG_SONG_SEARCHER_H_

@@ -1,0 +1,217 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// Unified facade over the three `visited` structures the paper evaluates
+// (open-addressing hash table, Bloom filter, Cuckoo filter), with the exact
+// false-positive / false-negative semantics the search relies on: Test may
+// report a false "visited" (costs a little recall), never a false
+// "unvisited".
+
+#ifndef SONG_SONG_VISITED_TABLE_H_
+#define SONG_SONG_VISITED_TABLE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/logging.h"
+#include "song/bloom_filter.h"
+#include "song/cuckoo_filter.h"
+#include "song/open_addressing_set.h"
+
+namespace song {
+
+enum class VisitedStructure {
+  kHashTable = 0,
+  kBloomFilter = 1,
+  kCuckooFilter = 2,
+  /// CPU-only specialization: an epoch-stamped dense array (one u32 per
+  /// dataset point). O(1) test/insert/erase with no hashing and no
+  /// clearing cost between queries — the "heavily engineered" CPU build of
+  /// the paper's §VIII-I uses exactly this kind of structure. Not a GPU
+  /// candidate (it needs 4*n bytes of random-access memory per query).
+  kEpochArray = 3,
+};
+
+inline const char* VisitedStructureName(VisitedStructure s) {
+  switch (s) {
+    case VisitedStructure::kHashTable:
+      return "hashtable";
+    case VisitedStructure::kBloomFilter:
+      return "bloomfilter";
+    case VisitedStructure::kCuckooFilter:
+      return "cuckoofilter";
+    case VisitedStructure::kEpochArray:
+      return "epocharray";
+  }
+  return "unknown";
+}
+
+class VisitedTable {
+ public:
+  VisitedTable() = default;
+
+  /// `capacity`: number of keys the structure must support. For the Bloom
+  /// filter, `bloom_bits` overrides the bit budget (0 -> the paper's ~300
+  /// u32 = 9600 bits). When the shape is unchanged from the previous query
+  /// the allocation is reused and only cleared — per-query reallocation
+  /// would dominate the CPU pipeline (and a real kernel reuses its fixed
+  /// shared-memory region the same way).
+  void Reset(VisitedStructure structure, size_t capacity,
+             size_t bloom_bits = 0) {
+    if (structure == structure_ && capacity == last_capacity_ &&
+        bloom_bits == last_bloom_bits_) {
+      Clear();
+      return;
+    }
+    structure_ = structure;
+    last_capacity_ = capacity;
+    last_bloom_bits_ = bloom_bits;
+    switch (structure_) {
+      case VisitedStructure::kHashTable:
+        hash_.Reset(capacity);
+        break;
+      case VisitedStructure::kBloomFilter:
+        bloom_.Reset(bloom_bits == 0 ? 9600 : bloom_bits);
+        break;
+      case VisitedStructure::kCuckooFilter:
+        cuckoo_.Reset(capacity);
+        break;
+      case VisitedStructure::kEpochArray:
+        if (stamps_.size() < capacity) stamps_.assign(capacity, 0);
+        epoch_size_ = 0;
+        NextEpoch();
+        break;
+    }
+  }
+
+  void Clear() {
+    switch (structure_) {
+      case VisitedStructure::kHashTable:
+        hash_.Clear();
+        break;
+      case VisitedStructure::kBloomFilter:
+        bloom_.Clear();
+        break;
+      case VisitedStructure::kCuckooFilter:
+        cuckoo_.Clear();
+        break;
+      case VisitedStructure::kEpochArray:
+        epoch_size_ = 0;
+        NextEpoch();
+        break;
+    }
+  }
+
+  bool Test(idx_t key) const {
+    switch (structure_) {
+      case VisitedStructure::kHashTable:
+        return hash_.Contains(key);
+      case VisitedStructure::kBloomFilter:
+        return bloom_.Contains(key);
+      case VisitedStructure::kCuckooFilter:
+        return cuckoo_.Contains(key);
+      case VisitedStructure::kEpochArray:
+        return key < stamps_.size() && stamps_[key] == epoch_;
+    }
+    return false;
+  }
+
+  /// Marks `key` visited. A failed insert (saturated structure) is treated
+  /// upstream as "visited" to preserve the no-false-negative contract.
+  bool Insert(idx_t key) {
+    switch (structure_) {
+      case VisitedStructure::kHashTable:
+        return hash_.Insert(key);
+      case VisitedStructure::kBloomFilter:
+        bloom_.Insert(key);
+        return true;
+      case VisitedStructure::kCuckooFilter:
+        return cuckoo_.Insert(key);
+      case VisitedStructure::kEpochArray:
+        if (key >= stamps_.size() || stamps_[key] == epoch_) return false;
+        stamps_[key] = epoch_;
+        ++epoch_size_;
+        return true;
+    }
+    return false;
+  }
+
+  /// True if the structure supports deletion (visited-deletion optimization).
+  bool SupportsDeletion() const {
+    return structure_ != VisitedStructure::kBloomFilter;
+  }
+
+  void Erase(idx_t key) {
+    switch (structure_) {
+      case VisitedStructure::kHashTable:
+        hash_.Erase(key);
+        break;
+      case VisitedStructure::kBloomFilter:
+        SONG_CHECK_MSG(false, "Bloom filter does not support deletion");
+        break;
+      case VisitedStructure::kCuckooFilter:
+        cuckoo_.Erase(key);
+        break;
+      case VisitedStructure::kEpochArray:
+        if (key < stamps_.size() && stamps_[key] == epoch_) {
+          stamps_[key] = 0;
+          --epoch_size_;
+        }
+        break;
+    }
+  }
+
+  size_t MemoryBytes() const {
+    switch (structure_) {
+      case VisitedStructure::kHashTable:
+        return hash_.MemoryBytes();
+      case VisitedStructure::kBloomFilter:
+        return bloom_.MemoryBytes();
+      case VisitedStructure::kCuckooFilter:
+        return cuckoo_.MemoryBytes();
+      case VisitedStructure::kEpochArray:
+        return stamps_.size() * sizeof(uint32_t);
+    }
+    return 0;
+  }
+
+  size_t size() const {
+    switch (structure_) {
+      case VisitedStructure::kHashTable:
+        return hash_.size();
+      case VisitedStructure::kBloomFilter:
+        return bloom_.size();
+      case VisitedStructure::kCuckooFilter:
+        return cuckoo_.size();
+      case VisitedStructure::kEpochArray:
+        return epoch_size_;
+    }
+    return 0;
+  }
+
+  VisitedStructure structure() const { return structure_; }
+
+ private:
+  void NextEpoch() {
+    if (++epoch_ == 0) {
+      std::fill(stamps_.begin(), stamps_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+
+  VisitedStructure structure_ = VisitedStructure::kHashTable;
+  size_t last_capacity_ = ~size_t{0};
+  size_t last_bloom_bits_ = ~size_t{0};
+  OpenAddressingSet hash_;
+  BloomFilter bloom_;
+  CuckooFilter cuckoo_;
+  std::vector<uint32_t> stamps_;
+  uint32_t epoch_ = 0;
+  size_t epoch_size_ = 0;
+};
+
+}  // namespace song
+
+#endif  // SONG_SONG_VISITED_TABLE_H_

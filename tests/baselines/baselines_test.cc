@@ -1,0 +1,370 @@
+// Tests for the baselines: exact flat index, HNSW (the CPU baseline),
+// k-means, product quantization and IVFPQ (the Faiss stand-in).
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "baselines/flat_index.h"
+#include "baselines/hnsw.h"
+#include "baselines/ivfpq.h"
+#include "baselines/kmeans.h"
+#include "baselines/pq.h"
+#include "core/random.h"
+#include "core/recall.h"
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+
+namespace song {
+namespace {
+
+struct BaselineFixture {
+  Dataset data;
+  Dataset queries;
+  std::vector<std::vector<idx_t>> gt10;
+
+  static const BaselineFixture& Get() {
+    static BaselineFixture* f = [] {
+      auto* fx = new BaselineFixture();
+      SyntheticSpec spec;
+      spec.name = "baselines";
+      spec.dim = 32;
+      spec.num_points = 4000;
+      spec.num_queries = 40;
+      spec.num_clusters = 16;
+      spec.cluster_std = 0.5;
+      spec.seed = 911;
+      SyntheticData gen = GenerateSynthetic(spec);
+      fx->data = std::move(gen.points);
+      fx->queries = std::move(gen.queries);
+      FlatIndex flat(&fx->data, Metric::kL2);
+      fx->gt10 = FlatIndex::Ids(flat.BatchSearch(fx->queries, 10, 0));
+      return fx;
+    }();
+    return *f;
+  }
+};
+
+// ---- FlatIndex ----
+
+TEST(FlatIndex, FindsTheExactNearest) {
+  Dataset data(3, 2);
+  const float rows[3][2] = {{0, 0}, {5, 5}, {1, 1}};
+  for (idx_t i = 0; i < 3; ++i) data.SetRow(i, rows[i]);
+  FlatIndex flat(&data, Metric::kL2);
+  const float q[2] = {0.9f, 0.9f};
+  const auto result = flat.Search(q, 2);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0].id, 2u);
+  EXPECT_EQ(result[1].id, 0u);
+}
+
+TEST(FlatIndex, ResultsAscendingAndComplete) {
+  const BaselineFixture& fx = BaselineFixture::Get();
+  FlatIndex flat(&fx.data, Metric::kL2);
+  const auto result = flat.Search(fx.queries.Row(0), 20);
+  ASSERT_EQ(result.size(), 20u);
+  for (size_t i = 1; i < result.size(); ++i) {
+    EXPECT_LE(result[i - 1].dist, result[i].dist);
+  }
+}
+
+TEST(FlatIndex, KLargerThanDatasetReturnsAll) {
+  Dataset data(3, 2);
+  FlatIndex flat(&data, Metric::kL2);
+  const float q[2] = {0, 0};
+  EXPECT_EQ(flat.Search(q, 10).size(), 3u);
+}
+
+TEST(FlatIndex, BatchMatchesSingle) {
+  const BaselineFixture& fx = BaselineFixture::Get();
+  FlatIndex flat(&fx.data, Metric::kL2);
+  const auto batch = flat.BatchSearch(fx.queries, 5, 4);
+  for (size_t q = 0; q < 5; ++q) {
+    const auto single = flat.Search(fx.queries.Row(static_cast<idx_t>(q)), 5);
+    ASSERT_EQ(batch[q].size(), single.size());
+    for (size_t i = 0; i < single.size(); ++i) {
+      EXPECT_EQ(batch[q][i].id, single[i].id);
+    }
+  }
+}
+
+// ---- HNSW ----
+
+TEST(Hnsw, HighRecallWithModerateEf) {
+  const BaselineFixture& fx = BaselineFixture::Get();
+  HnswBuildOptions opts;
+  opts.num_threads = 4;
+  Hnsw hnsw(&fx.data, Metric::kL2, opts);
+  std::vector<std::vector<idx_t>> results(fx.queries.num());
+  for (size_t q = 0; q < fx.queries.num(); ++q) {
+    const auto found =
+        hnsw.Search(fx.queries.Row(static_cast<idx_t>(q)), 10, 128);
+    for (const Neighbor& n : found) results[q].push_back(n.id);
+  }
+  EXPECT_GE(MeanRecallAtK(results, fx.gt10, 10), 0.9);
+}
+
+TEST(Hnsw, RecallImprovesWithEf) {
+  const BaselineFixture& fx = BaselineFixture::Get();
+  HnswBuildOptions opts;
+  opts.num_threads = 4;
+  Hnsw hnsw(&fx.data, Metric::kL2, opts);
+  auto recall_at = [&](size_t ef) {
+    std::vector<std::vector<idx_t>> results(fx.queries.num());
+    for (size_t q = 0; q < fx.queries.num(); ++q) {
+      const auto found =
+          hnsw.Search(fx.queries.Row(static_cast<idx_t>(q)), 10, ef);
+      for (const Neighbor& n : found) results[q].push_back(n.id);
+    }
+    return MeanRecallAtK(results, fx.gt10, 10);
+  };
+  EXPECT_GE(recall_at(128), recall_at(10));
+}
+
+TEST(Hnsw, SearchStatsGrowWithEf) {
+  const BaselineFixture& fx = BaselineFixture::Get();
+  HnswBuildOptions opts;
+  opts.num_threads = 4;
+  Hnsw hnsw(&fx.data, Metric::kL2, opts);
+  HnswSearchStats small, large;
+  hnsw.Search(fx.queries.Row(0), 10, 10, &small);
+  hnsw.Search(fx.queries.Row(0), 10, 200, &large);
+  EXPECT_GT(large.distance_computations, small.distance_computations);
+}
+
+TEST(Hnsw, ExportBaseLayerIsSearchableGraph) {
+  const BaselineFixture& fx = BaselineFixture::Get();
+  HnswBuildOptions opts;
+  opts.num_threads = 4;
+  Hnsw hnsw(&fx.data, Metric::kL2, opts);
+  const FixedDegreeGraph base = hnsw.ExportBaseLayer();
+  EXPECT_EQ(base.num_vertices(), fx.data.num());
+  EXPECT_EQ(base.degree(), 2 * opts.m);
+}
+
+TEST(Hnsw, ResultsSortedAscending) {
+  const BaselineFixture& fx = BaselineFixture::Get();
+  HnswBuildOptions opts;
+  opts.num_threads = 4;
+  Hnsw hnsw(&fx.data, Metric::kL2, opts);
+  const auto result = hnsw.Search(fx.queries.Row(1), 10, 64);
+  for (size_t i = 1; i < result.size(); ++i) {
+    EXPECT_LE(result[i - 1].dist, result[i].dist);
+  }
+}
+
+TEST(Hnsw, MemoryBytesIsPositive) {
+  const BaselineFixture& fx = BaselineFixture::Get();
+  HnswBuildOptions opts;
+  opts.num_threads = 4;
+  Hnsw hnsw(&fx.data, Metric::kL2, opts);
+  EXPECT_GT(hnsw.MemoryBytes(), fx.data.num() * sizeof(idx_t));
+}
+
+// ---- KMeans ----
+
+TEST(KMeans, RecoversWellSeparatedClusters) {
+  // Three tight blobs far apart: inertia must be tiny and assignments
+  // consistent within each blob.
+  Dataset data(90, 4);
+  RandomEngine rng(4);
+  for (idx_t i = 0; i < 90; ++i) {
+    const float center = static_cast<float>((i / 30) * 100);
+    std::vector<float> row(4);
+    for (auto& v : row) {
+      v = center + static_cast<float>(rng.NextGaussian() * 0.1);
+    }
+    data.SetRow(i, row.data());
+  }
+  KMeansOptions opts;
+  opts.num_clusters = 3;
+  opts.max_iterations = 25;
+  const KMeansResult result = RunKMeans(data, opts);
+  EXPECT_LT(result.inertia, 1.0);
+  for (int blob = 0; blob < 3; ++blob) {
+    const idx_t label = result.assignments[blob * 30];
+    for (int i = 0; i < 30; ++i) {
+      EXPECT_EQ(result.assignments[blob * 30 + i], label);
+    }
+  }
+}
+
+TEST(KMeans, ClampsKToDatasetSize) {
+  Dataset data(5, 2);
+  KMeansOptions opts;
+  opts.num_clusters = 100;
+  const KMeansResult result = RunKMeans(data, opts);
+  EXPECT_EQ(result.centroids.num(), 5u);
+}
+
+TEST(KMeans, InertiaDecreasesVsOneIteration) {
+  const BaselineFixture& fx = BaselineFixture::Get();
+  KMeansOptions one;
+  one.num_clusters = 32;
+  one.max_iterations = 1;
+  KMeansOptions many = one;
+  many.max_iterations = 15;
+  EXPECT_LE(RunKMeans(fx.data, many).inertia,
+            RunKMeans(fx.data, one).inertia + 1e-9);
+}
+
+TEST(KMeans, AssignmentsAreNearestCentroid) {
+  const BaselineFixture& fx = BaselineFixture::Get();
+  KMeansOptions opts;
+  opts.num_clusters = 8;
+  const KMeansResult result = RunKMeans(fx.data, opts);
+  for (idx_t i = 0; i < 50; ++i) {
+    const float* p = fx.data.Row(i);
+    float best = 1e30f;
+    idx_t best_c = 0;
+    for (idx_t c = 0; c < result.centroids.num(); ++c) {
+      const float d = L2Sqr(p, result.centroids.Row(c), fx.data.dim());
+      if (d < best) {
+        best = d;
+        best_c = c;
+      }
+    }
+    EXPECT_EQ(result.assignments[i], best_c);
+  }
+}
+
+// ---- ProductQuantizer ----
+
+TEST(ProductQuantizer, SubspacePartitionCoversAllDims) {
+  const BaselineFixture& fx = BaselineFixture::Get();
+  ProductQuantizer pq;
+  PqOptions opts;
+  opts.num_subquantizers = 5;  // 32 dims -> 7,7,6,6,6
+  opts.train_iterations = 4;
+  pq.Train(fx.data, opts);
+  size_t total = 0;
+  for (size_t s = 0; s < pq.num_subquantizers(); ++s) {
+    total += pq.SubspaceDim(s);
+  }
+  EXPECT_EQ(total, fx.data.dim());
+}
+
+TEST(ProductQuantizer, EncodeDecodeReducesError) {
+  const BaselineFixture& fx = BaselineFixture::Get();
+  ProductQuantizer pq;
+  PqOptions opts;
+  opts.num_subquantizers = 8;
+  pq.Train(fx.data, opts);
+  std::vector<uint8_t> code(pq.code_bytes());
+  std::vector<float> decoded(fx.data.dim());
+  double total_err = 0.0, total_norm = 0.0;
+  for (idx_t i = 0; i < 100; ++i) {
+    pq.Encode(fx.data.Row(i), code.data());
+    pq.Decode(code.data(), decoded.data());
+    total_err += L2Sqr(fx.data.Row(i), decoded.data(), fx.data.dim());
+    total_norm += L2Sqr(fx.data.Row(i),
+                        std::vector<float>(fx.data.dim(), 0.0f).data(),
+                        fx.data.dim());
+  }
+  EXPECT_LT(total_err / total_norm, 0.35);  // reconstructs most energy
+}
+
+TEST(ProductQuantizer, AdcMatchesDecodedDistance) {
+  const BaselineFixture& fx = BaselineFixture::Get();
+  ProductQuantizer pq;
+  PqOptions opts;
+  opts.num_subquantizers = 4;
+  pq.Train(fx.data, opts);
+  std::vector<float> table(pq.code_bytes() * ProductQuantizer::kCodebookSize);
+  std::vector<uint8_t> code(pq.code_bytes());
+  std::vector<float> decoded(fx.data.dim());
+  const float* q = fx.queries.Row(0);
+  pq.ComputeAdcTable(q, Metric::kL2, table.data());
+  for (idx_t i = 0; i < 20; ++i) {
+    pq.Encode(fx.data.Row(i), code.data());
+    pq.Decode(code.data(), decoded.data());
+    const float adc = pq.AdcDistance(table.data(), code.data());
+    const float direct = L2Sqr(q, decoded.data(), fx.data.dim());
+    EXPECT_NEAR(adc, direct, 1e-2f * (1.0f + direct));
+  }
+}
+
+TEST(ProductQuantizer, InnerProductAdc) {
+  const BaselineFixture& fx = BaselineFixture::Get();
+  ProductQuantizer pq;
+  PqOptions opts;
+  opts.num_subquantizers = 4;
+  pq.Train(fx.data, opts);
+  std::vector<float> table(pq.code_bytes() * ProductQuantizer::kCodebookSize);
+  std::vector<uint8_t> code(pq.code_bytes());
+  std::vector<float> decoded(fx.data.dim());
+  const float* q = fx.queries.Row(1);
+  pq.ComputeAdcTable(q, Metric::kInnerProduct, table.data());
+  pq.Encode(fx.data.Row(3), code.data());
+  pq.Decode(code.data(), decoded.data());
+  EXPECT_NEAR(pq.AdcDistance(table.data(), code.data()),
+              InnerProduct(q, decoded.data(), fx.data.dim()), 1e-2f);
+}
+
+// ---- IVFPQ ----
+
+TEST(IvfPq, RecallImprovesWithNprobe) {
+  const BaselineFixture& fx = BaselineFixture::Get();
+  IvfPqOptions opts;
+  opts.nlist = 64;
+  opts.pq_m = 8;
+  IvfPqIndex index(&fx.data, Metric::kL2, opts);
+  auto recall_at = [&](size_t nprobe) {
+    const auto results = index.BatchSearch(fx.queries, 10, nprobe, 4);
+    return MeanRecallAtK(FlatIndex::Ids(results), fx.gt10, 10);
+  };
+  const double r1 = recall_at(1);
+  const double r16 = recall_at(16);
+  const double r64 = recall_at(64);
+  EXPECT_GE(r16, r1);
+  EXPECT_GE(r64, r16 - 0.02);
+  EXPECT_GE(r64, 0.5);  // quantization caps recall below graph methods
+}
+
+TEST(IvfPq, QuantizationCapsRecallBelowExact) {
+  // Even probing every list, PQ codes cannot reproduce exact ranking —
+  // the effect behind the N/A cells of Table II.
+  const BaselineFixture& fx = BaselineFixture::Get();
+  IvfPqOptions opts;
+  opts.nlist = 32;
+  opts.pq_m = 4;  // aggressive compression
+  IvfPqIndex index(&fx.data, Metric::kL2, opts);
+  const auto results = index.BatchSearch(fx.queries, 10, 32, 4);
+  const double recall = MeanRecallAtK(FlatIndex::Ids(results), fx.gt10, 10);
+  EXPECT_LT(recall, 0.999);
+}
+
+TEST(IvfPq, MemorySmallerThanRawData) {
+  const BaselineFixture& fx = BaselineFixture::Get();
+  IvfPqOptions opts;
+  opts.nlist = 64;
+  opts.pq_m = 8;
+  IvfPqIndex index(&fx.data, Metric::kL2, opts);
+  EXPECT_LT(index.MemoryBytes(), fx.data.PayloadBytes());
+}
+
+TEST(IvfPq, HandlesNprobeLargerThanNlist) {
+  const BaselineFixture& fx = BaselineFixture::Get();
+  IvfPqOptions opts;
+  opts.nlist = 16;
+  IvfPqIndex index(&fx.data, Metric::kL2, opts);
+  const auto result = index.Search(fx.queries.Row(0), 5, 1000);
+  EXPECT_EQ(result.size(), 5u);
+}
+
+TEST(IvfPq, InnerProductMetricWorks) {
+  const BaselineFixture& fx = BaselineFixture::Get();
+  IvfPqOptions opts;
+  opts.nlist = 32;
+  opts.by_residual = false;
+  IvfPqIndex index(&fx.data, Metric::kInnerProduct, opts);
+  const auto result = index.Search(fx.queries.Row(0), 5, 8);
+  ASSERT_EQ(result.size(), 5u);
+  for (size_t i = 1; i < result.size(); ++i) {
+    EXPECT_LE(result[i - 1].dist, result[i].dist);
+  }
+}
+
+}  // namespace
+}  // namespace song

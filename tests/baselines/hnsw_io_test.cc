@@ -1,0 +1,75 @@
+// HNSW serialization round-trip: a reloaded index must search identically.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "baselines/hnsw.h"
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+
+namespace song {
+namespace {
+
+TEST(HnswIo, SaveLoadRoundTripSearchesIdentically) {
+  SyntheticSpec spec;
+  spec.dim = 16;
+  spec.num_points = 1500;
+  spec.num_queries = 10;
+  spec.num_clusters = 6;
+  spec.seed = 91;
+  SyntheticData gen = GenerateSynthetic(spec);
+  HnswBuildOptions opts;
+  opts.num_threads = 1;
+  Hnsw original(&gen.points, Metric::kL2, opts);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "song_hnsw_io.bin").string();
+  ASSERT_TRUE(original.Save(path).ok());
+  auto loaded = Hnsw::Load(path, &gen.points, Metric::kL2);
+  ASSERT_TRUE(loaded.ok());
+
+  EXPECT_EQ(loaded->max_level(), original.max_level());
+  EXPECT_EQ(loaded->entry_point(), original.entry_point());
+  EXPECT_EQ(loaded->MemoryBytes(), original.MemoryBytes());
+
+  for (size_t q = 0; q < gen.queries.num(); ++q) {
+    const float* query = gen.queries.Row(static_cast<idx_t>(q));
+    const auto a = original.Search(query, 10, 64);
+    const auto b = loaded->Search(query, 10, 64);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id) << "q=" << q << " i=" << i;
+      EXPECT_FLOAT_EQ(a[i].dist, b[i].dist);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(HnswIo, LoadRejectsWrongDatasetSize) {
+  SyntheticSpec spec;
+  spec.dim = 8;
+  spec.num_points = 200;
+  spec.num_queries = 1;
+  spec.seed = 92;
+  SyntheticData gen = GenerateSynthetic(spec);
+  HnswBuildOptions opts;
+  opts.num_threads = 1;
+  Hnsw original(&gen.points, Metric::kL2, opts);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "song_hnsw_io2.bin")
+          .string();
+  ASSERT_TRUE(original.Save(path).ok());
+
+  Dataset other(100, 8);
+  auto loaded = Hnsw::Load(path, &other, Metric::kL2);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(HnswIo, LoadMissingFileFails) {
+  Dataset data(10, 4);
+  EXPECT_FALSE(Hnsw::Load("/nonexistent/hnsw.bin", &data, Metric::kL2).ok());
+}
+
+}  // namespace
+}  // namespace song

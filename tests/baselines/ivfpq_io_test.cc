@@ -1,0 +1,101 @@
+// IVFPQ serialization round-trip: a reloaded index must search identically.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "baselines/ivfpq.h"
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+
+namespace song {
+namespace {
+
+TEST(IvfPqIo, SaveLoadRoundTripSearchesIdentically) {
+  SyntheticSpec spec;
+  spec.dim = 24;
+  spec.num_points = 1500;
+  spec.num_queries = 10;
+  spec.num_clusters = 6;
+  spec.seed = 71;
+  SyntheticData gen = GenerateSynthetic(spec);
+  IvfPqOptions opts;
+  opts.nlist = 24;
+  opts.pq_m = 6;
+  opts.num_threads = 1;
+  IvfPqIndex original(&gen.points, Metric::kL2, opts);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "song_ivfpq_io.bin")
+          .string();
+  ASSERT_TRUE(original.Save(path).ok());
+  auto loaded = IvfPqIndex::Load(path, &gen.points, Metric::kL2);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->nlist(), original.nlist());
+  EXPECT_EQ(loaded->pq_m(), original.pq_m());
+  EXPECT_EQ(loaded->MemoryBytes(), original.MemoryBytes());
+
+  for (size_t q = 0; q < gen.queries.num(); ++q) {
+    const float* query = gen.queries.Row(static_cast<idx_t>(q));
+    const auto a = original.Search(query, 10, 8);
+    const auto b = loaded->Search(query, 10, 8);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id);
+      EXPECT_FLOAT_EQ(a[i].dist, b[i].dist);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IvfPqIo, LoadRejectsWrongDataset) {
+  SyntheticSpec spec;
+  spec.dim = 8;
+  spec.num_points = 300;
+  spec.num_queries = 1;
+  spec.seed = 72;
+  SyntheticData gen = GenerateSynthetic(spec);
+  IvfPqOptions opts;
+  opts.nlist = 8;
+  opts.pq_m = 4;
+  opts.num_threads = 1;
+  IvfPqIndex original(&gen.points, Metric::kL2, opts);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "song_ivfpq_io2.bin")
+          .string();
+  ASSERT_TRUE(original.Save(path).ok());
+  Dataset other(100, 8);
+  EXPECT_FALSE(IvfPqIndex::Load(path, &other, Metric::kL2).ok());
+  std::remove(path.c_str());
+}
+
+TEST(IvfPqIo, LoadMissingFileFails) {
+  Dataset data(10, 4);
+  EXPECT_FALSE(
+      IvfPqIndex::Load("/nonexistent/ivfpq.bin", &data, Metric::kL2).ok());
+}
+
+TEST(IvfPqIo, LoadTruncatedFileFails) {
+  SyntheticSpec spec;
+  spec.dim = 8;
+  spec.num_points = 200;
+  spec.num_queries = 1;
+  spec.seed = 73;
+  SyntheticData gen = GenerateSynthetic(spec);
+  IvfPqOptions opts;
+  opts.nlist = 8;
+  opts.pq_m = 4;
+  opts.num_threads = 1;
+  IvfPqIndex original(&gen.points, Metric::kL2, opts);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "song_ivfpq_io3.bin")
+          .string();
+  ASSERT_TRUE(original.Save(path).ok());
+  // Truncate to half.
+  std::filesystem::resize_file(path,
+                               std::filesystem::file_size(path) / 2);
+  EXPECT_FALSE(IvfPqIndex::Load(path, &gen.points, Metric::kL2).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace song

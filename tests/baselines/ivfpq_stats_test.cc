@@ -1,0 +1,103 @@
+// Tests for the IVFPQ search counters and the Faiss GPU cost model built on
+// them.
+
+#include "baselines/ivfpq.h"
+
+#include "data/synthetic.h"
+#include "gpusim/faiss_model.h"
+#include "gtest/gtest.h"
+
+namespace song {
+namespace {
+
+struct IvfFixture {
+  Dataset data;
+  Dataset queries;
+  std::unique_ptr<IvfPqIndex> index;
+
+  static const IvfFixture& Get() {
+    static IvfFixture* f = [] {
+      auto* fx = new IvfFixture();
+      SyntheticSpec spec;
+      spec.dim = 16;
+      spec.num_points = 2000;
+      spec.num_queries = 20;
+      spec.num_clusters = 8;
+      spec.seed = 33;
+      SyntheticData gen = GenerateSynthetic(spec);
+      fx->data = std::move(gen.points);
+      fx->queries = std::move(gen.queries);
+      IvfPqOptions opts;
+      opts.nlist = 32;
+      opts.pq_m = 4;
+      opts.num_threads = 1;
+      fx->index = std::make_unique<IvfPqIndex>(&fx->data, Metric::kL2, opts);
+      return fx;
+    }();
+    return *f;
+  }
+};
+
+TEST(IvfPqStats, CountsListsAndCodes) {
+  const IvfFixture& fx = IvfFixture::Get();
+  IvfPqSearchStats stats;
+  fx.index->Search(fx.queries.Row(0), 5, 4, &stats);
+  EXPECT_EQ(stats.queries, 1u);
+  EXPECT_EQ(stats.lists_probed, 4u);
+  EXPECT_GT(stats.codes_scanned, 0u);
+  EXPECT_EQ(stats.table_entries, 4u * 4u * 256u);
+  EXPECT_EQ(stats.coarse_distances, fx.index->nlist());
+}
+
+TEST(IvfPqStats, FullProbeScansWholeDataset) {
+  const IvfFixture& fx = IvfFixture::Get();
+  IvfPqSearchStats stats;
+  fx.index->Search(fx.queries.Row(0), 5, fx.index->nlist(), &stats);
+  EXPECT_EQ(stats.codes_scanned, fx.data.num());
+}
+
+TEST(IvfPqStats, BatchAccumulates) {
+  const IvfFixture& fx = IvfFixture::Get();
+  IvfPqSearchStats stats;
+  fx.index->BatchSearch(fx.queries, 5, 2, 2, &stats);
+  EXPECT_EQ(stats.queries, fx.queries.num());
+  EXPECT_EQ(stats.lists_probed, 2u * fx.queries.num());
+}
+
+TEST(FaissModel, MoreProbesCostMore) {
+  const IvfFixture& fx = IvfFixture::Get();
+  IvfPqSearchStats few, many;
+  fx.index->BatchSearch(fx.queries, 5, 1, 1, &few);
+  fx.index->BatchSearch(fx.queries, 5, 16, 1, &many);
+  const auto t_few =
+      EstimateFaissGpu(few, GpuSpec::V100(), fx.data.dim(), 4, 5);
+  const auto t_many =
+      EstimateFaissGpu(many, GpuSpec::V100(), fx.data.dim(), 4, 5);
+  EXPECT_GT(t_many.kernel_seconds, t_few.kernel_seconds);
+  EXPECT_GT(t_few.Qps(fx.queries.num()), 0.0);
+}
+
+TEST(FaissModel, SlowerCardSlower) {
+  const IvfFixture& fx = IvfFixture::Get();
+  IvfPqSearchStats stats;
+  fx.index->BatchSearch(fx.queries, 5, 8, 1, &stats);
+  const auto v100 =
+      EstimateFaissGpu(stats, GpuSpec::V100(), fx.data.dim(), 4, 5);
+  const auto p40 =
+      EstimateFaissGpu(stats, GpuSpec::P40(), fx.data.dim(), 4, 5);
+  EXPECT_LT(v100.kernel_seconds, p40.kernel_seconds);
+}
+
+TEST(FaissModel, TotalsAddUp) {
+  const IvfFixture& fx = IvfFixture::Get();
+  IvfPqSearchStats stats;
+  fx.index->BatchSearch(fx.queries, 5, 8, 1, &stats);
+  const auto est =
+      EstimateFaissGpu(stats, GpuSpec::V100(), fx.data.dim(), 4, 5);
+  EXPECT_NEAR(est.total_seconds,
+              est.kernel_seconds + est.htod_seconds + est.dtoh_seconds,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace song

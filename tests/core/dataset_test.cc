@@ -1,0 +1,114 @@
+#include "core/dataset.h"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "gtest/gtest.h"
+
+namespace song {
+namespace {
+
+TEST(Dataset, DimensionsAndPadding) {
+  Dataset ds(10, 100);
+  EXPECT_EQ(ds.num(), 10u);
+  EXPECT_EQ(ds.dim(), 100u);
+  EXPECT_EQ(ds.stride() % 16, 0u);
+  EXPECT_GE(ds.stride(), 100u);
+  EXPECT_EQ(ds.PayloadBytes(), 10u * 100u * sizeof(float));
+}
+
+TEST(Dataset, RowsAreAligned) {
+  Dataset ds(7, 33);
+  for (idx_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(ds.Row(i)) % 64, 0u);
+  }
+}
+
+TEST(Dataset, SetAndGetRow) {
+  Dataset ds(3, 4);
+  const float row[] = {1.0f, 2.0f, 3.0f, 4.0f};
+  ds.SetRow(1, row);
+  EXPECT_FLOAT_EQ(ds.Row(1)[0], 1.0f);
+  EXPECT_FLOAT_EQ(ds.Row(1)[3], 4.0f);
+  EXPECT_FLOAT_EQ(ds.Row(0)[0], 0.0f);  // untouched rows stay zero
+}
+
+TEST(Dataset, FromFlatRoundTrip) {
+  const std::vector<float> flat = {1, 2, 3, 4, 5, 6};
+  auto ds = Dataset::FromFlat(flat, 2, 3);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_FLOAT_EQ(ds->Row(0)[2], 3.0f);
+  EXPECT_FLOAT_EQ(ds->Row(1)[0], 4.0f);
+}
+
+TEST(Dataset, FromFlatRejectsSizeMismatch) {
+  const std::vector<float> flat = {1, 2, 3};
+  auto ds = Dataset::FromFlat(flat, 2, 3);
+  EXPECT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Dataset, NormalizeRowsMakesUnitLength) {
+  Dataset ds(2, 3);
+  const float a[] = {3.0f, 0.0f, 4.0f};
+  const float zero[] = {0.0f, 0.0f, 0.0f};
+  ds.SetRow(0, a);
+  ds.SetRow(1, zero);
+  ds.NormalizeRows();
+  double norm = 0.0;
+  for (size_t d = 0; d < 3; ++d) norm += ds.Row(0)[d] * ds.Row(0)[d];
+  EXPECT_NEAR(norm, 1.0, 1e-6);
+  EXPECT_FLOAT_EQ(ds.Row(1)[0], 0.0f);  // zero row untouched
+}
+
+TEST(Dataset, SaveLoadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "song_ds_test.bin").string();
+  Dataset ds(5, 17);
+  for (idx_t i = 0; i < 5; ++i) {
+    std::vector<float> row(17);
+    for (size_t d = 0; d < 17; ++d) {
+      row[d] = static_cast<float>(i * 100 + d);
+    }
+    ds.SetRow(i, row.data());
+  }
+  ASSERT_TRUE(ds.Save(path).ok());
+  auto loaded = Dataset::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num(), 5u);
+  EXPECT_EQ(loaded->dim(), 17u);
+  for (idx_t i = 0; i < 5; ++i) {
+    for (size_t d = 0; d < 17; ++d) {
+      EXPECT_FLOAT_EQ(loaded->Row(i)[d], ds.Row(i)[d]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Dataset, LoadMissingFileFails) {
+  auto loaded = Dataset::Load("/nonexistent/song.bin");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST(Dataset, LoadRejectsBadMagic) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "song_bad_magic.bin")
+          .string();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fwrite("JUNKJUNKJUNKJUNK", 1, 16, f);
+  std::fclose(f);
+  auto loaded = Dataset::Load(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(Dataset, EmptyDataset) {
+  Dataset ds;
+  EXPECT_TRUE(ds.empty());
+  EXPECT_EQ(ds.num(), 0u);
+}
+
+}  // namespace
+}  // namespace song

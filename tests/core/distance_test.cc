@@ -1,0 +1,125 @@
+#include "core/distance.h"
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace song {
+namespace {
+
+std::vector<float> RandomVec(std::mt19937& rng, size_t dim) {
+  std::normal_distribution<float> d(0.0f, 1.0f);
+  std::vector<float> v(dim);
+  for (float& x : v) x = d(rng);
+  return v;
+}
+
+// Naive references.
+float RefL2(const std::vector<float>& a, const std::vector<float>& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    s += (double{a[i]} - b[i]) * (double{a[i]} - b[i]);
+  }
+  return static_cast<float>(s);
+}
+
+float RefDot(const std::vector<float>& a, const std::vector<float>& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += double{a[i]} * b[i];
+  return static_cast<float>(s);
+}
+
+TEST(Distance, L2OfIdenticalVectorsIsZero) {
+  std::vector<float> v = {1.0f, -2.0f, 3.0f};
+  EXPECT_FLOAT_EQ(L2Sqr(v.data(), v.data(), v.size()), 0.0f);
+}
+
+TEST(Distance, L2KnownValue) {
+  std::vector<float> a = {0.0f, 0.0f};
+  std::vector<float> b = {3.0f, 4.0f};
+  EXPECT_FLOAT_EQ(L2Sqr(a.data(), b.data(), 2), 25.0f);
+}
+
+TEST(Distance, L2IsSymmetric) {
+  std::mt19937 rng(1);
+  const auto a = RandomVec(rng, 57);
+  const auto b = RandomVec(rng, 57);
+  EXPECT_FLOAT_EQ(L2Sqr(a.data(), b.data(), 57),
+                  L2Sqr(b.data(), a.data(), 57));
+}
+
+TEST(Distance, InnerProductIsNegatedDot) {
+  std::vector<float> a = {1.0f, 2.0f, 3.0f};
+  std::vector<float> b = {4.0f, 5.0f, 6.0f};
+  EXPECT_FLOAT_EQ(InnerProduct(a.data(), b.data(), 3), -32.0f);
+}
+
+TEST(Distance, CosineOfParallelVectorsIsZero) {
+  std::vector<float> a = {1.0f, 2.0f, 2.0f};
+  std::vector<float> b = {2.0f, 4.0f, 4.0f};
+  EXPECT_NEAR(CosineDistance(a.data(), b.data(), 3), 0.0f, 1e-6f);
+}
+
+TEST(Distance, CosineOfOrthogonalVectorsIsOne) {
+  std::vector<float> a = {1.0f, 0.0f};
+  std::vector<float> b = {0.0f, 5.0f};
+  EXPECT_NEAR(CosineDistance(a.data(), b.data(), 2), 1.0f, 1e-6f);
+}
+
+TEST(Distance, CosineOfOppositeVectorsIsTwo) {
+  std::vector<float> a = {1.0f, 1.0f};
+  std::vector<float> b = {-2.0f, -2.0f};
+  EXPECT_NEAR(CosineDistance(a.data(), b.data(), 2), 2.0f, 1e-6f);
+}
+
+TEST(Distance, CosineOfZeroVectorIsDefinedAsOne) {
+  std::vector<float> a = {0.0f, 0.0f};
+  std::vector<float> b = {1.0f, 2.0f};
+  EXPECT_FLOAT_EQ(CosineDistance(a.data(), b.data(), 2), 1.0f);
+}
+
+TEST(Distance, MetricNames) {
+  EXPECT_STREQ(MetricName(Metric::kL2), "l2");
+  EXPECT_STREQ(MetricName(Metric::kInnerProduct), "ip");
+  EXPECT_STREQ(MetricName(Metric::kCosine), "cosine");
+}
+
+TEST(Distance, GetDistanceFuncDispatch) {
+  std::vector<float> a = {1.0f, 0.0f};
+  std::vector<float> b = {0.0f, 1.0f};
+  EXPECT_FLOAT_EQ(GetDistanceFunc(Metric::kL2)(a.data(), b.data(), 2), 2.0f);
+  EXPECT_FLOAT_EQ(GetDistanceFunc(Metric::kInnerProduct)(a.data(), b.data(),
+                                                         2),
+                  0.0f);
+  EXPECT_FLOAT_EQ(ComputeDistance(Metric::kCosine, a.data(), b.data(), 2),
+                  1.0f);
+}
+
+// Unrolled kernels must match the naive reference across dimensions,
+// including every remainder class mod 4.
+class DistanceSweepTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(DistanceSweepTest, UnrolledMatchesReference) {
+  const size_t dim = GetParam();
+  std::mt19937 rng(static_cast<uint32_t>(dim));
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto a = RandomVec(rng, dim);
+    const auto b = RandomVec(rng, dim);
+    const float ref_l2 = RefL2(a, b);
+    const float got_l2 = L2Sqr(a.data(), b.data(), dim);
+    EXPECT_NEAR(got_l2, ref_l2, 1e-3f * (1.0f + std::fabs(ref_l2)));
+    const float ref_ip = -RefDot(a, b);
+    const float got_ip = InnerProduct(a.data(), b.data(), dim);
+    EXPECT_NEAR(got_ip, ref_ip, 1e-3f * (1.0f + std::fabs(ref_ip)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, DistanceSweepTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 15, 16, 31,
+                                           33, 64, 100, 128, 200, 256, 784,
+                                           960));
+
+}  // namespace
+}  // namespace song

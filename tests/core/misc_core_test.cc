@@ -1,0 +1,197 @@
+// Tests for the small core utilities: aligned buffers, bit vectors /
+// Hamming distance, recall evaluation and the thread pool.
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "core/aligned_buffer.h"
+#include "core/bitvector.h"
+#include "core/recall.h"
+#include "core/thread_pool.h"
+#include "core/types.h"
+#include "gtest/gtest.h"
+
+namespace song {
+namespace {
+
+// ---- AlignedBuffer ----
+
+TEST(AlignedBuffer, AllocatesAlignedZeroed) {
+  AlignedBuffer<float> buf(100);
+  EXPECT_EQ(buf.size(), 100u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(buf.data()) % kDefaultAlignment, 0u);
+  for (size_t i = 0; i < buf.size(); ++i) EXPECT_EQ(buf[i], 0.0f);
+}
+
+TEST(AlignedBuffer, CopySemantics) {
+  AlignedBuffer<int> a(10);
+  a[3] = 42;
+  AlignedBuffer<int> b = a;
+  EXPECT_EQ(b[3], 42);
+  b[3] = 7;
+  EXPECT_EQ(a[3], 42);  // deep copy
+}
+
+TEST(AlignedBuffer, MoveSemantics) {
+  AlignedBuffer<int> a(10);
+  a[0] = 5;
+  AlignedBuffer<int> b = std::move(a);
+  EXPECT_EQ(b[0], 5);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(AlignedBuffer, ResetReallocates) {
+  AlignedBuffer<int> a(4);
+  a[0] = 9;
+  a.Reset(8);
+  EXPECT_EQ(a.size(), 8u);
+  EXPECT_EQ(a[0], 0);
+}
+
+TEST(AlignedBuffer, EmptyBuffer) {
+  AlignedBuffer<double> a;
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.data(), nullptr);
+}
+
+// ---- BinaryCodes / Hamming ----
+
+TEST(BinaryCodes, SetAndGetBits) {
+  BinaryCodes codes(3, 100);
+  EXPECT_EQ(codes.words(), 2u);  // 100 bits -> 2 u64 words
+  codes.SetBit(1, 0);
+  codes.SetBit(1, 63);
+  codes.SetBit(1, 64);
+  codes.SetBit(1, 99);
+  EXPECT_TRUE(codes.GetBit(1, 0));
+  EXPECT_TRUE(codes.GetBit(1, 99));
+  EXPECT_FALSE(codes.GetBit(1, 1));
+  EXPECT_FALSE(codes.GetBit(0, 0));
+}
+
+TEST(BinaryCodes, HammingCountsDifferingBits) {
+  BinaryCodes codes(2, 128);
+  codes.SetBit(0, 3);
+  codes.SetBit(0, 77);
+  codes.SetBit(1, 3);
+  codes.SetBit(1, 100);
+  // Differ at 77 and 100.
+  EXPECT_EQ(codes.Hamming(0, 1), 2u);
+  EXPECT_EQ(codes.Hamming(0, 0), 0u);
+}
+
+TEST(BinaryCodes, PayloadBytesMatchesPaperAccounting) {
+  BinaryCodes codes(1000, 128);
+  EXPECT_EQ(codes.PayloadBytes(), 1000u * 16u);
+}
+
+TEST(HammingDistance, AllBitsDiffer) {
+  const uint64_t a[2] = {~0ULL, ~0ULL};
+  const uint64_t b[2] = {0, 0};
+  EXPECT_EQ(HammingDistance(a, b, 2), 128u);
+}
+
+// ---- Recall ----
+
+TEST(Recall, PerfectMatch) {
+  EXPECT_DOUBLE_EQ(RecallAtK({1, 2, 3}, {1, 2, 3}, 3), 1.0);
+}
+
+TEST(Recall, OrderDoesNotMatter) {
+  EXPECT_DOUBLE_EQ(RecallAtK({3, 1, 2}, {1, 2, 3}, 3), 1.0);
+}
+
+TEST(Recall, PartialMatch) {
+  EXPECT_DOUBLE_EQ(RecallAtK({1, 9, 8}, {1, 2, 3}, 3), 1.0 / 3.0);
+}
+
+TEST(Recall, TruncatesResultToK) {
+  // Hits beyond position k do not count: {9,8,1,2,3}@3 keeps only {9,8,1}.
+  EXPECT_DOUBLE_EQ(RecallAtK({9, 8, 1, 2, 3}, {1, 2, 3}, 3), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(RecallAtK({9, 8, 7, 2, 3}, {1, 2, 3}, 3), 0.0);
+}
+
+TEST(Recall, DuplicateResultsCountOnce) {
+  EXPECT_DOUBLE_EQ(RecallAtK({1, 1, 1}, {1, 2, 3}, 3), 1.0 / 3.0);
+}
+
+TEST(Recall, EmptyResultIsZero) {
+  EXPECT_DOUBLE_EQ(RecallAtK({}, {1, 2, 3}, 3), 0.0);
+}
+
+TEST(Recall, ShortGroundTruthNormalizesByItsSize) {
+  EXPECT_DOUBLE_EQ(RecallAtK({1, 5}, {1}, 10), 1.0);
+}
+
+TEST(Recall, MeanAcrossQueries) {
+  const std::vector<std::vector<idx_t>> results = {{1, 2}, {9, 9}};
+  const std::vector<std::vector<idx_t>> truth = {{1, 2}, {1, 2}};
+  EXPECT_DOUBLE_EQ(MeanRecallAtK(results, truth, 2), 0.5);
+}
+
+TEST(Recall, MismatchedSizesReturnZero) {
+  EXPECT_DOUBLE_EQ(MeanRecallAtK({{1}}, {}, 1), 0.0);
+}
+
+// ---- ThreadPool / ParallelFor ----
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  const size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  ParallelFor(n, 8, [&](size_t i, size_t) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, SingleThreadFallback) {
+  std::vector<int> order;
+  ParallelFor(5, 1, [&](size_t i, size_t tid) {
+    EXPECT_EQ(tid, 0u);
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, ZeroItemsIsNoop) {
+  bool called = false;
+  ParallelFor(0, 4, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, ThreadIdsWithinRange) {
+  std::atomic<bool> ok{true};
+  ParallelFor(1000, 3, [&](size_t, size_t tid) {
+    if (tid >= 3) ok = false;
+  });
+  EXPECT_TRUE(ok);
+}
+
+}  // namespace
+}  // namespace song

@@ -1,0 +1,109 @@
+#include "core/random.h"
+
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace song {
+namespace {
+
+TEST(RandomEngine, DeterministicForSameSeed) {
+  RandomEngine a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomEngine, DifferentSeedsDiverge) {
+  RandomEngine a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RandomEngine, UniformInRange) {
+  RandomEngine rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextUniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RandomEngine, UniformBounds) {
+  RandomEngine rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.NextUniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RandomEngine, UniformMeanIsCentered) {
+  RandomEngine rng(9);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextUniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RandomEngine, NextUintInRange) {
+  RandomEngine rng(10);
+  std::vector<int> hits(7, 0);
+  for (int i = 0; i < 7000; ++i) ++hits[rng.NextUint(7)];
+  for (int h : hits) EXPECT_GT(h, 700);  // roughly uniform
+}
+
+TEST(RandomEngine, GaussianMomentsMatch) {
+  RandomEngine rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RandomEngine, CauchyMedianIsZero) {
+  RandomEngine rng(12);
+  const int n = 100000;
+  int below = 0;
+  for (int i = 0; i < n; ++i) below += (rng.NextCauchy() < 0.0);
+  EXPECT_NEAR(static_cast<double>(below) / n, 0.5, 0.02);
+}
+
+TEST(RandomEngine, CauchyQuartilesAtPlusMinusOne) {
+  // For standard Cauchy, P(X < -1) = 0.25 and P(X < 1) = 0.75.
+  RandomEngine rng(13);
+  const int n = 100000;
+  int below_m1 = 0, below_p1 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double c = rng.NextCauchy();
+    below_m1 += (c < -1.0);
+    below_p1 += (c < 1.0);
+  }
+  EXPECT_NEAR(static_cast<double>(below_m1) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(below_p1) / n, 0.75, 0.02);
+}
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+  uint64_t s = 0;
+  const uint64_t a = SplitMix64(s);
+  const uint64_t b = SplitMix64(s);
+  EXPECT_NE(a, b);
+  uint64_t s2 = 0;
+  EXPECT_EQ(SplitMix64(s2), a);
+}
+
+TEST(RandomEngine, ReseedResetsSequence) {
+  RandomEngine rng(55);
+  const uint64_t first = rng.Next();
+  rng.Next();
+  rng.Seed(55);
+  EXPECT_EQ(rng.Next(), first);
+}
+
+}  // namespace
+}  // namespace song

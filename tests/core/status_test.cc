@@ -1,0 +1,71 @@
+#include "core/status.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace song {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, FactoryFunctionsCarryCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  EXPECT_STREQ(Status::CodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(Status::CodeName(StatusCode::kIOError), "IOError");
+  EXPECT_STREQ(Status::CodeName(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+  EXPECT_STREQ(Status::CodeName(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(Status::CodeName(StatusCode::kUnimplemented), "Unimplemented");
+  EXPECT_STREQ(Status::CodeName(StatusCode::kInternal), "Internal");
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v(Status::NotFound("missing"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOr, MoveOutValue) {
+  StatusOr<std::string> v(std::string("hello"));
+  const std::string got = std::move(v).value();
+  EXPECT_EQ(got, "hello");
+}
+
+TEST(StatusOr, ArrowOperator) {
+  StatusOr<std::string> v(std::string("abc"));
+  EXPECT_EQ(v->size(), 3u);
+}
+
+Status FailsThenPropagates() {
+  SONG_RETURN_IF_ERROR(Status::IOError("disk"));
+  return Status::OK();
+}
+
+TEST(Status, ReturnIfErrorMacroPropagates) {
+  const Status s = FailsThenPropagates();
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace song

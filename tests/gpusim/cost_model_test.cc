@@ -1,0 +1,174 @@
+// Tests for the GPU cost model: monotonicity in work, sensitivity to the
+// GpuSpec, occupancy/shared-memory behaviour, stage attribution and the
+// transfer model — the properties the figure benches rely on.
+
+#include "gpusim/cost_model.h"
+
+#include "gpusim/gpu_spec.h"
+#include "gtest/gtest.h"
+
+namespace song {
+namespace {
+
+SearchStats MakeStats(size_t num_queries, size_t rows_per_q,
+                      size_t cands_per_q, size_t dim_bytes) {
+  SearchStats s;
+  s.iterations = num_queries * rows_per_q;
+  s.vertices_expanded = num_queries * rows_per_q;
+  s.graph_rows_loaded = num_queries * rows_per_q;
+  s.graph_bytes_loaded = num_queries * rows_per_q * 16 * sizeof(idx_t);
+  s.q_pops = num_queries * rows_per_q;
+  s.distance_computations = num_queries * cands_per_q;
+  s.data_bytes_loaded = num_queries * cands_per_q * dim_bytes;
+  s.q_pushes = num_queries * cands_per_q / 2;
+  s.topk_pushes = num_queries * rows_per_q;
+  s.visited_tests = num_queries * rows_per_q * 16;
+  s.visited_insertions = num_queries * cands_per_q / 2;
+  s.visited_capacity_bytes = 4096;
+  return s;
+}
+
+WorkloadShape MakeShape(size_t nq, size_t dim) {
+  WorkloadShape shape;
+  shape.num_queries = nq;
+  shape.dim = dim;
+  shape.point_bytes = dim * sizeof(float);
+  shape.k = 10;
+  shape.queue_size = 64;
+  shape.degree = 16;
+  return shape;
+}
+
+TEST(CostModel, ProducesPositiveTimes) {
+  CostModel model(GpuSpec::V100());
+  const auto b = model.Estimate(MakeStats(1000, 150, 1500, 512),
+                                MakeShape(1000, 128));
+  EXPECT_GT(b.kernel_seconds, 0.0);
+  EXPECT_GT(b.htod_seconds, 0.0);
+  EXPECT_GT(b.dtoh_seconds, 0.0);
+  EXPECT_NEAR(b.total_seconds,
+              b.kernel_seconds + b.htod_seconds + b.dtoh_seconds, 1e-12);
+  EXPECT_GT(b.Qps(1000), 0.0);
+}
+
+TEST(CostModel, StagePercentagesSumToHundred) {
+  CostModel model(GpuSpec::V100());
+  const auto b = model.Estimate(MakeStats(1000, 150, 1500, 512),
+                                MakeShape(1000, 128));
+  EXPECT_NEAR(b.LocatePct() + b.DistancePct() + b.MaintainPct(), 100.0, 0.1);
+  EXPECT_NEAR(b.HtodPct() + b.KernelPct() + b.DtohPct(), 100.0, 0.1);
+}
+
+TEST(CostModel, MoreWorkTakesLonger) {
+  CostModel model(GpuSpec::V100());
+  const auto shape = MakeShape(1000, 128);
+  const auto small = model.Estimate(MakeStats(1000, 100, 1000, 512), shape);
+  const auto large = model.Estimate(MakeStats(1000, 400, 4000, 512), shape);
+  EXPECT_GT(large.kernel_seconds, small.kernel_seconds);
+}
+
+TEST(CostModel, FasterGpuIsFaster) {
+  // V100 dominates P40 and TITAN X in SMs and bandwidth (paper Fig 13:
+  // "gaps ... consistent with the computation power of the GPUs").
+  const auto stats = MakeStats(10000, 200, 2000, 512);
+  const auto shape = MakeShape(10000, 128);
+  const double v100 =
+      CostModel(GpuSpec::V100()).Estimate(stats, shape).kernel_seconds;
+  const double p40 =
+      CostModel(GpuSpec::P40()).Estimate(stats, shape).kernel_seconds;
+  const double titanx =
+      CostModel(GpuSpec::TitanX()).Estimate(stats, shape).kernel_seconds;
+  EXPECT_LT(v100, p40);
+  EXPECT_LT(v100, titanx);
+  // TITAN X has more bandwidth than P40: for this memory-heavy workload it
+  // should not be slower.
+  EXPECT_LE(titanx, p40 * 1.05);
+}
+
+TEST(CostModel, HigherDimensionShiftsTimeTowardDistanceStage) {
+  CostModel model(GpuSpec::V100());
+  const auto low = model.Estimate(MakeStats(1000, 150, 1500, 200 * 4),
+                                  MakeShape(1000, 200));
+  const auto high = model.Estimate(MakeStats(1000, 150, 1500, 960 * 4),
+                                   MakeShape(1000, 960));
+  EXPECT_GT(high.DistancePct(), low.DistancePct());
+}
+
+TEST(CostModel, SmallBatchUnderutilizesGpu) {
+  CostModel model(GpuSpec::V100());
+  const auto per_q = [&](size_t nq) {
+    const auto b = model.Estimate(MakeStats(nq, 150, 1500, 512),
+                                  MakeShape(nq, 128));
+    return b.total_seconds / static_cast<double>(nq);
+  };
+  // Per-query cost shrinks as the batch grows (Fig 11).
+  EXPECT_GT(per_q(100), per_q(10000));
+  EXPECT_GE(per_q(10000), per_q(100000) * 0.5);
+}
+
+TEST(CostModel, SpilledVisitedTableIsSlower) {
+  CostModel model(GpuSpec::V100());
+  const auto shape = MakeShape(1000, 128);
+  SearchStats fits = MakeStats(1000, 150, 1500, 512);
+  fits.visited_capacity_bytes = 8 * 1024;
+  SearchStats spills = fits;
+  spills.visited_capacity_bytes = 256 * 1024;
+  const auto b_fits = model.Estimate(fits, shape);
+  const auto b_spills = model.Estimate(spills, shape);
+  EXPECT_TRUE(b_fits.visited_in_shared);
+  EXPECT_FALSE(b_spills.visited_in_shared);
+  EXPECT_GT(b_spills.kernel_seconds, b_fits.kernel_seconds);
+}
+
+TEST(CostModel, MultiQueryReducesOccupancyAndSlowsLocating) {
+  CostModel model(GpuSpec::V100());
+  auto shape1 = MakeShape(10000, 128);
+  auto shape4 = shape1;
+  shape4.multi_query = 4;
+  const auto stats = MakeStats(10000, 150, 1500, 512);
+  const auto b1 = model.Estimate(stats, shape1);
+  const auto b4 = model.Estimate(stats, shape4);
+  // Paper Fig 8: multi-query does not help; our model charges serialized
+  // divergent row fetches and a bigger shared footprint.
+  EXPECT_GE(b4.kernel_seconds, b1.kernel_seconds);
+  EXPECT_GE(b4.shared_bytes_per_warp, b1.shared_bytes_per_warp * 3.0);
+}
+
+TEST(CostModel, TransferShareShrinksWithKernelWork) {
+  CostModel model(GpuSpec::V100());
+  const auto shape = MakeShape(10000, 200);
+  const auto light = model.Estimate(MakeStats(10000, 60, 600, 800), shape);
+  const auto heavy = model.Estimate(MakeStats(10000, 2000, 20000, 800),
+                                    shape);
+  // Paper Fig 10 (left): HtoD percentage decreases with larger K.
+  EXPECT_LT(heavy.HtodPct(), light.HtodPct());
+}
+
+TEST(CostModel, DtohGrowsWithK) {
+  CostModel model(GpuSpec::V100());
+  auto shape_small = MakeShape(10000, 200);
+  shape_small.k = 50;
+  auto shape_large = shape_small;
+  shape_large.k = 1000;
+  const auto stats = MakeStats(10000, 150, 1500, 800);
+  EXPECT_GT(model.Estimate(stats, shape_large).dtoh_seconds,
+            model.Estimate(stats, shape_small).dtoh_seconds);
+}
+
+TEST(CostModel, SharedBytesAccountsForStructures) {
+  CostModel model(GpuSpec::V100());
+  auto shape = MakeShape(100, 128);
+  const double without = model.SharedBytesPerQuery(shape, 4096, false);
+  const double with = model.SharedBytesPerQuery(shape, 4096, true);
+  EXPECT_NEAR(with - without, 4096.0, 1e-9);
+  EXPECT_GT(without, shape.dim * sizeof(float));
+}
+
+TEST(GpuSpec, PresetsAreDistinct) {
+  EXPECT_EQ(GpuSpec::V100().TotalCores(), 5120u);
+  EXPECT_EQ(GpuSpec::P40().TotalCores(), 3840u);
+  EXPECT_EQ(GpuSpec::TitanX().TotalCores(), 3584u);
+}
+
+}  // namespace
+}  // namespace song

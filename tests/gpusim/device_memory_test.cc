@@ -1,0 +1,83 @@
+// Tests for the device-memory planner: the paper's MNIST8m numbers must
+// reproduce exactly (24 GB of floats does not fit TITAN X; 128-bit codes
+// do; the degree-16 graph is under 1 GB).
+
+#include "gpusim/device_memory.h"
+
+#include "gtest/gtest.h"
+
+namespace song {
+namespace {
+
+DeploymentShape Mnist8mShape() {
+  DeploymentShape shape;
+  shape.num_points = 8090000;
+  shape.dim = 784;
+  shape.graph_degree = 16;
+  return shape;
+}
+
+TEST(DeviceMemory, CapacitiesMatchTheCards) {
+  EXPECT_EQ(DeviceCapacityBytes(GpuSpec::V100()), 32ull << 30);
+  EXPECT_EQ(DeviceCapacityBytes(GpuSpec::P40()), 24ull << 30);
+  EXPECT_EQ(DeviceCapacityBytes(GpuSpec::TitanX()), 12ull << 30);
+}
+
+TEST(DeviceMemory, Mnist8mDoesNotFitTitanX) {
+  // Paper §VIII-H: "MNIST8m (24 GB) cannot fit in the GPU memory of
+  // TITAN X" (12 GB).
+  const MemoryPlan plan = PlanDeployment(Mnist8mShape(), GpuSpec::TitanX());
+  EXPECT_FALSE(plan.fits);
+  EXPECT_NEAR(static_cast<double>(plan.data_bytes) / (1 << 30), 23.6, 0.5);
+}
+
+TEST(DeviceMemory, GraphIndexIsUnderOneGigabyte) {
+  // Paper §VII: "the 16-degree graph index size of 8 million
+  // 784-dimensional data points takes 988 MB".
+  const MemoryPlan plan = PlanDeployment(Mnist8mShape(), GpuSpec::TitanX());
+  EXPECT_NEAR(static_cast<double>(plan.graph_bytes) / (1 << 20), 494.0,
+              20.0);
+  // (The paper's 988 MB counts 8-byte slots; with 4-byte ids it is half.
+  // Either way: well under 1 GB.)
+  EXPECT_LT(plan.graph_bytes, 1ull << 30);
+}
+
+TEST(DeviceMemory, HashingMakesMnist8mFitTitanX) {
+  const MemoryPlan plan = PlanDeployment(Mnist8mShape(), GpuSpec::TitanX());
+  ASSERT_FALSE(plan.fits);
+  EXPECT_GT(plan.hash_bits_needed, 0u);
+  EXPECT_LE(plan.hash_bits_needed, 512u);  // Table IV widths all fit
+}
+
+TEST(DeviceMemory, ShardingAlsoFixesIt) {
+  const MemoryPlan plan = PlanDeployment(Mnist8mShape(), GpuSpec::TitanX());
+  ASSERT_FALSE(plan.fits);
+  EXPECT_GE(plan.shards_needed, 2u);
+  EXPECT_LE(plan.shards_needed, 4u);
+}
+
+TEST(DeviceMemory, Mnist8mFitsV100) {
+  const MemoryPlan plan = PlanDeployment(Mnist8mShape(), GpuSpec::V100());
+  EXPECT_TRUE(plan.fits);
+  EXPECT_EQ(plan.hash_bits_needed, 0u);
+}
+
+TEST(DeviceMemory, SmallDeploymentAlwaysFits) {
+  DeploymentShape shape;
+  shape.num_points = 100000;
+  shape.dim = 128;
+  const MemoryPlan plan = PlanDeployment(shape, GpuSpec::TitanX());
+  EXPECT_TRUE(plan.fits);
+  EXPECT_FALSE(plan.ToString().empty());
+}
+
+TEST(DeviceMemory, ToStringMentionsRemedies) {
+  const MemoryPlan plan = PlanDeployment(Mnist8mShape(), GpuSpec::TitanX());
+  const std::string s = plan.ToString();
+  EXPECT_NE(s.find("DOES NOT FIT"), std::string::npos);
+  EXPECT_NE(s.find("hashing"), std::string::npos);
+  EXPECT_NE(s.find("shard"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace song

@@ -1,0 +1,78 @@
+// Direct tests for NswBuilder::RepairConnectivity (reverse-edge eviction can
+// orphan vertices; the repair pass must reconnect them from vertex 0).
+
+#include "graph/nsw_builder.h"
+
+#include "core/random.h"
+#include "data/synthetic.h"
+#include "graph/graph_stats.h"
+#include "gtest/gtest.h"
+
+namespace song {
+namespace {
+
+TEST(RepairConnectivity, ReattachesIsolatedVertex) {
+  Dataset data(4, 2);
+  const float rows[4][2] = {{0, 0}, {1, 0}, {2, 0}, {3, 0}};
+  for (idx_t i = 0; i < 4; ++i) data.SetRow(i, rows[i]);
+  FixedDegreeGraph graph(4, 2);
+  graph.SetNeighbors(0, {1});
+  graph.SetNeighbors(1, {0, 2});
+  graph.SetNeighbors(2, {1});
+  graph.SetNeighbors(3, {2});  // 3 has out-edges but no in-edges
+  ASSERT_EQ(CountReachable(graph, 0), 3u);
+  NswBuilder::RepairConnectivity(data, Metric::kL2, &graph);
+  EXPECT_EQ(CountReachable(graph, 0), 4u);
+}
+
+TEST(RepairConnectivity, HandlesFullRowsByEvictingFarthest) {
+  Dataset data(4, 1);
+  const float rows[4][1] = {{0}, {1}, {10}, {2}};
+  for (idx_t i = 0; i < 4; ++i) data.SetRow(i, rows[i]);
+  FixedDegreeGraph graph(4, 2);
+  // 0's row is full; 3 is orphaned and names 0 as its nearest out-neighbor.
+  graph.SetNeighbors(0, {1, 2});
+  graph.SetNeighbors(1, {0});
+  graph.SetNeighbors(2, {0});
+  graph.SetNeighbors(3, {0});
+  NswBuilder::RepairConnectivity(data, Metric::kL2, &graph);
+  EXPECT_EQ(CountReachable(graph, 0), 4u);
+  // The farthest neighbor of the anchor (vertex 2 at distance 100) was the
+  // eviction victim... unless 2 became unreachable and was itself repaired.
+  // Either way every vertex must be reachable.
+}
+
+TEST(RepairConnectivity, NoopOnConnectedGraph) {
+  Dataset data(3, 1);
+  const float rows[3][1] = {{0}, {1}, {2}};
+  for (idx_t i = 0; i < 3; ++i) data.SetRow(i, rows[i]);
+  FixedDegreeGraph graph(3, 2);
+  graph.SetNeighbors(0, {1, 2});
+  graph.SetNeighbors(1, {0});
+  graph.SetNeighbors(2, {0});
+  const std::vector<idx_t> before0 = graph.Neighbors(0);
+  NswBuilder::RepairConnectivity(data, Metric::kL2, &graph);
+  EXPECT_EQ(graph.Neighbors(0), before0);
+  EXPECT_EQ(CountReachable(graph, 0), 3u);
+}
+
+TEST(RepairConnectivity, ManyOrphansConverge) {
+  // A star of orphans: only vertex 0 reachable initially.
+  const size_t n = 50;
+  Dataset data(n, 2);
+  RandomEngine rng(8);
+  std::vector<float> row(2);
+  for (idx_t i = 0; i < n; ++i) {
+    row[0] = static_cast<float>(rng.NextGaussian());
+    row[1] = static_cast<float>(rng.NextGaussian());
+    data.SetRow(i, row.data());
+  }
+  FixedDegreeGraph graph(n, 3);
+  for (idx_t v = 1; v < n; ++v) graph.SetNeighbors(v, {0});
+  ASSERT_EQ(CountReachable(graph, 0), 1u);
+  NswBuilder::RepairConnectivity(data, Metric::kL2, &graph);
+  EXPECT_EQ(CountReachable(graph, 0), n);
+}
+
+}  // namespace
+}  // namespace song

@@ -1,0 +1,265 @@
+// Tests for the symmetric min-max heap and the bounded max-heap — the
+// paper's bounded-priority-queue substrate (§IV-C). The SMMH is validated
+// exhaustively against a std::multiset oracle under randomized workloads.
+
+#include "song/bounded_heap.h"
+
+#include <random>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace song {
+namespace {
+
+Neighbor N(float d, idx_t id) { return Neighbor(d, id); }
+
+TEST(SymmetricMinMaxHeap, StartsEmpty) {
+  SymmetricMinMaxHeap h(8);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.size(), 0u);
+  EXPECT_EQ(h.capacity(), 8u);
+  EXPECT_FALSE(h.full());
+}
+
+TEST(SymmetricMinMaxHeap, SingleElementIsBothMinAndMax) {
+  SymmetricMinMaxHeap h(4);
+  h.Push(N(3.0f, 7));
+  EXPECT_EQ(h.Min().id, 7u);
+  EXPECT_EQ(h.Max().id, 7u);
+  EXPECT_EQ(h.size(), 1u);
+}
+
+TEST(SymmetricMinMaxHeap, TwoElementsOrdered) {
+  SymmetricMinMaxHeap h(4);
+  h.Push(N(5.0f, 1));
+  h.Push(N(2.0f, 2));
+  EXPECT_FLOAT_EQ(h.Min().dist, 2.0f);
+  EXPECT_FLOAT_EQ(h.Max().dist, 5.0f);
+}
+
+TEST(SymmetricMinMaxHeap, PopMinAscending) {
+  SymmetricMinMaxHeap h(16);
+  const std::vector<float> values = {5, 1, 9, 3, 7, 2, 8, 4, 6, 0};
+  for (size_t i = 0; i < values.size(); ++i) {
+    h.Push(N(values[i], static_cast<idx_t>(i)));
+    ASSERT_TRUE(h.CheckInvariants()) << "after push " << i;
+  }
+  float prev = -1.0f;
+  while (!h.empty()) {
+    const Neighbor n = h.PopMin();
+    EXPECT_GE(n.dist, prev);
+    prev = n.dist;
+    ASSERT_TRUE(h.CheckInvariants());
+  }
+}
+
+TEST(SymmetricMinMaxHeap, PopMaxDescending) {
+  SymmetricMinMaxHeap h(16);
+  const std::vector<float> values = {5, 1, 9, 3, 7, 2, 8, 4, 6, 0};
+  for (size_t i = 0; i < values.size(); ++i) {
+    h.Push(N(values[i], static_cast<idx_t>(i)));
+  }
+  float prev = 1e9f;
+  while (!h.empty()) {
+    const Neighbor n = h.PopMax();
+    EXPECT_LE(n.dist, prev);
+    prev = n.dist;
+    ASSERT_TRUE(h.CheckInvariants());
+  }
+}
+
+TEST(SymmetricMinMaxHeap, PushBoundedEvictsWorst) {
+  SymmetricMinMaxHeap h(3);
+  h.Push(N(1.0f, 1));
+  h.Push(N(2.0f, 2));
+  h.Push(N(3.0f, 3));
+  EXPECT_TRUE(h.full());
+
+  Neighbor evicted;
+  EXPECT_TRUE(h.PushBounded(N(2.5f, 4), &evicted));
+  EXPECT_EQ(evicted.id, 3u);
+  EXPECT_FLOAT_EQ(h.Max().dist, 2.5f);
+  EXPECT_EQ(h.size(), 3u);
+}
+
+TEST(SymmetricMinMaxHeap, PushBoundedRejectsWorse) {
+  SymmetricMinMaxHeap h(2);
+  h.Push(N(1.0f, 1));
+  h.Push(N(2.0f, 2));
+  EXPECT_FALSE(h.PushBounded(N(9.0f, 3)));
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_FLOAT_EQ(h.Max().dist, 2.0f);
+}
+
+TEST(SymmetricMinMaxHeap, EqualDistancesTieBreakOnId) {
+  SymmetricMinMaxHeap h(8);
+  h.Push(N(1.0f, 5));
+  h.Push(N(1.0f, 2));
+  h.Push(N(1.0f, 9));
+  EXPECT_EQ(h.Min().id, 2u);
+  EXPECT_EQ(h.Max().id, 9u);
+}
+
+TEST(SymmetricMinMaxHeap, ClearKeepsCapacity) {
+  SymmetricMinMaxHeap h(4);
+  h.Push(N(1.0f, 1));
+  h.Clear();
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.capacity(), 4u);
+  h.Push(N(2.0f, 2));
+  EXPECT_EQ(h.Min().id, 2u);
+}
+
+// ---- Randomized oracle comparison. ----
+
+struct SmmhOracleCase {
+  uint32_t seed;
+  size_t capacity;
+  size_t operations;
+};
+
+class SmmhOracleTest : public ::testing::TestWithParam<SmmhOracleCase> {};
+
+TEST_P(SmmhOracleTest, MatchesMultisetOracle) {
+  const SmmhOracleCase param = GetParam();
+  std::mt19937 rng(param.seed);
+  std::uniform_real_distribution<float> dist(0.0f, 100.0f);
+  SymmetricMinMaxHeap heap(param.capacity);
+  std::multiset<Neighbor> oracle;
+  idx_t next_id = 0;
+
+  for (size_t op = 0; op < param.operations; ++op) {
+    const int action = static_cast<int>(rng() % 4);
+    if (action <= 1) {  // push (50%)
+      if (heap.full()) continue;
+      const Neighbor n(dist(rng), next_id++);
+      heap.Push(n);
+      oracle.insert(n);
+    } else if (action == 2) {  // pop min
+      if (heap.empty()) continue;
+      const Neighbor got = heap.PopMin();
+      ASSERT_EQ(got, *oracle.begin());
+      oracle.erase(oracle.begin());
+    } else {  // pop max
+      if (heap.empty()) continue;
+      const Neighbor got = heap.PopMax();
+      ASSERT_EQ(got, *std::prev(oracle.end()));
+      oracle.erase(std::prev(oracle.end()));
+    }
+    ASSERT_EQ(heap.size(), oracle.size());
+    ASSERT_TRUE(heap.CheckInvariants()) << "op " << op;
+    if (!oracle.empty()) {
+      ASSERT_EQ(heap.Min(), *oracle.begin());
+      ASSERT_EQ(heap.Max(), *std::prev(oracle.end()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomWorkloads, SmmhOracleTest,
+    ::testing::Values(SmmhOracleCase{1, 1, 500}, SmmhOracleCase{2, 2, 800},
+                      SmmhOracleCase{3, 3, 1000}, SmmhOracleCase{4, 4, 1000},
+                      SmmhOracleCase{5, 5, 1500}, SmmhOracleCase{6, 7, 2000},
+                      SmmhOracleCase{7, 8, 2000}, SmmhOracleCase{8, 16, 3000},
+                      SmmhOracleCase{9, 33, 4000},
+                      SmmhOracleCase{10, 100, 6000},
+                      SmmhOracleCase{11, 1000, 20000}));
+
+class SmmhBoundedOracleTest : public ::testing::TestWithParam<SmmhOracleCase> {
+};
+
+TEST_P(SmmhBoundedOracleTest, PushBoundedMatchesTruncatedOracle) {
+  const SmmhOracleCase param = GetParam();
+  std::mt19937 rng(param.seed * 7919);
+  std::uniform_real_distribution<float> dist(0.0f, 100.0f);
+  SymmetricMinMaxHeap heap(param.capacity);
+  std::multiset<Neighbor> oracle;  // kept truncated to capacity
+  idx_t next_id = 0;
+
+  for (size_t op = 0; op < param.operations; ++op) {
+    if (rng() % 3 != 0 || heap.empty()) {
+      const Neighbor n(dist(rng), next_id++);
+      heap.PushBounded(n);
+      oracle.insert(n);
+      if (oracle.size() > param.capacity) {
+        oracle.erase(std::prev(oracle.end()));
+      }
+    } else {
+      const Neighbor got = heap.PopMin();
+      ASSERT_EQ(got, *oracle.begin());
+      oracle.erase(oracle.begin());
+    }
+    ASSERT_EQ(heap.size(), oracle.size());
+    ASSERT_TRUE(heap.CheckInvariants());
+    if (!oracle.empty()) {
+      ASSERT_EQ(heap.Min(), *oracle.begin());
+      ASSERT_EQ(heap.Max(), *std::prev(oracle.end()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomWorkloads, SmmhBoundedOracleTest,
+    ::testing::Values(SmmhOracleCase{21, 1, 500}, SmmhOracleCase{22, 2, 800},
+                      SmmhOracleCase{23, 3, 1500}, SmmhOracleCase{24, 5, 2000},
+                      SmmhOracleCase{25, 10, 3000},
+                      SmmhOracleCase{26, 64, 5000},
+                      SmmhOracleCase{27, 200, 10000}));
+
+// ---- BoundedMaxHeap. ----
+
+TEST(BoundedMaxHeap, KeepsKSmallest) {
+  BoundedMaxHeap h(3);
+  for (int i = 10; i >= 1; --i) {
+    h.PushBounded(N(static_cast<float>(i), static_cast<idx_t>(i)));
+  }
+  const std::vector<Neighbor> sorted = h.TakeSorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_FLOAT_EQ(sorted[0].dist, 1.0f);
+  EXPECT_FLOAT_EQ(sorted[1].dist, 2.0f);
+  EXPECT_FLOAT_EQ(sorted[2].dist, 3.0f);
+}
+
+TEST(BoundedMaxHeap, ReportsEviction) {
+  BoundedMaxHeap h(2);
+  h.PushBounded(N(1.0f, 1));
+  h.PushBounded(N(2.0f, 2));
+  Neighbor evicted;
+  EXPECT_TRUE(h.PushBounded(N(1.5f, 3), &evicted));
+  EXPECT_EQ(evicted.id, 2u);
+  EXPECT_FALSE(h.PushBounded(N(99.0f, 4)));
+}
+
+TEST(BoundedMaxHeap, TakeSortedReturnsAscending) {
+  std::mt19937 rng(42);
+  std::uniform_real_distribution<float> dist(0.0f, 1.0f);
+  BoundedMaxHeap h(50);
+  std::multiset<Neighbor> oracle;
+  for (idx_t i = 0; i < 500; ++i) {
+    const Neighbor n(dist(rng), i);
+    h.PushBounded(n);
+    oracle.insert(n);
+    if (oracle.size() > 50) oracle.erase(std::prev(oracle.end()));
+  }
+  const std::vector<Neighbor> sorted = h.TakeSorted();
+  ASSERT_EQ(sorted.size(), 50u);
+  auto it = oracle.begin();
+  for (size_t i = 0; i < sorted.size(); ++i, ++it) {
+    EXPECT_EQ(sorted[i], *it);
+  }
+}
+
+TEST(BoundedMaxHeap, MaxTracksWorstKept) {
+  BoundedMaxHeap h(2);
+  h.PushBounded(N(5.0f, 1));
+  EXPECT_FLOAT_EQ(h.Max().dist, 5.0f);
+  h.PushBounded(N(3.0f, 2));
+  EXPECT_FLOAT_EQ(h.Max().dist, 5.0f);
+  h.PushBounded(N(1.0f, 3));
+  EXPECT_FLOAT_EQ(h.Max().dist, 3.0f);
+}
+
+}  // namespace
+}  // namespace song

@@ -1,0 +1,80 @@
+// Exhaustive small-case validation of the symmetric min-max heap: every
+// permutation of small inputs, pushed then drained in every pop pattern,
+// must match a sorted reference. Complements the randomized oracle test
+// with complete coverage of the boundary sizes where the spine/sibling
+// case analysis lives.
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "song/bounded_heap.h"
+
+namespace song {
+namespace {
+
+TEST(SmmhExhaustive, AllPermutationsUpTo7DrainSortedByMin) {
+  for (size_t n = 1; n <= 7; ++n) {
+    std::vector<int> values(n);
+    std::iota(values.begin(), values.end(), 0);
+    do {
+      SymmetricMinMaxHeap heap(n);
+      for (const int v : values) {
+        heap.Push(Neighbor(static_cast<float>(v), static_cast<idx_t>(v)));
+        ASSERT_TRUE(heap.CheckInvariants());
+      }
+      for (size_t i = 0; i < n; ++i) {
+        const Neighbor got = heap.PopMin();
+        ASSERT_EQ(got.id, static_cast<idx_t>(i))
+            << "n=" << n << " perm failed at pop " << i;
+        ASSERT_TRUE(heap.CheckInvariants());
+      }
+    } while (std::next_permutation(values.begin(), values.end()));
+  }
+}
+
+TEST(SmmhExhaustive, AllPermutationsUpTo7DrainSortedByMax) {
+  for (size_t n = 1; n <= 7; ++n) {
+    std::vector<int> values(n);
+    std::iota(values.begin(), values.end(), 0);
+    do {
+      SymmetricMinMaxHeap heap(n);
+      for (const int v : values) {
+        heap.Push(Neighbor(static_cast<float>(v), static_cast<idx_t>(v)));
+      }
+      for (size_t i = n; i-- > 0;) {
+        const Neighbor got = heap.PopMax();
+        ASSERT_EQ(got.id, static_cast<idx_t>(i)) << "n=" << n;
+        ASSERT_TRUE(heap.CheckInvariants());
+      }
+    } while (std::next_permutation(values.begin(), values.end()));
+  }
+}
+
+TEST(SmmhExhaustive, AllPopPatternsOfSixElements) {
+  // 2^6 alternation patterns of pop-min / pop-max over every permutation of
+  // 6 elements: the two-ended drain order must match a sorted deque.
+  std::vector<int> values(6);
+  std::iota(values.begin(), values.end(), 0);
+  do {
+    for (unsigned pattern = 0; pattern < (1u << 6); ++pattern) {
+      SymmetricMinMaxHeap heap(6);
+      for (const int v : values) {
+        heap.Push(Neighbor(static_cast<float>(v), static_cast<idx_t>(v)));
+      }
+      int lo = 0, hi = 5;
+      for (int step = 0; step < 6; ++step) {
+        if ((pattern >> step) & 1) {
+          ASSERT_EQ(heap.PopMax().id, static_cast<idx_t>(hi--));
+        } else {
+          ASSERT_EQ(heap.PopMin().id, static_cast<idx_t>(lo++));
+        }
+        ASSERT_TRUE(heap.CheckInvariants());
+      }
+    }
+  } while (std::next_permutation(values.begin(), values.end()));
+}
+
+}  // namespace
+}  // namespace song

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for song_cli: gen -> build -> stats -> gt -> search.
+set -euo pipefail
+CLI="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+"$CLI" gen --preset sift --scale 0.05 --out "$DIR/data.sngd" --queries "$DIR/q.sngd"
+"$CLI" build --data "$DIR/data.sngd" --out "$DIR/graph.sngg" --degree 16
+"$CLI" stats --graph "$DIR/graph.sngg" | grep -q "reachable from 0: "
+"$CLI" gt --data "$DIR/data.sngd" --queries "$DIR/q.sngd" --k 10 --out "$DIR/gt.sngd"
+OUT=$("$CLI" search --data "$DIR/data.sngd" --graph "$DIR/graph.sngg" \
+      --queries "$DIR/q.sngd" --k 10 --queue 96 --gt "$DIR/gt.sngd")
+echo "$OUT"
+echo "$OUT" | grep -q "recall@10"
+RECALL=$(echo "$OUT" | sed -n 's/recall@10: //p')
+# Recall must be decent on this easy preset.
+python3 - "$RECALL" <<'PY'
+import sys
+assert float(sys.argv[1]) >= 0.8, f"recall too low: {sys.argv[1]}"
+PY
+echo "CLI SMOKE OK"

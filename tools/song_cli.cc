@@ -1,0 +1,271 @@
+// song_cli — command-line front end for the library.
+//
+//   song_cli gen      --preset sift --scale 0.5 --out data.sngd
+//                     [--queries queries.sngd]
+//   song_cli build    --data data.sngd --out graph.sngg [--degree 16]
+//                     [--metric l2|ip|cosine] [--ef 100]
+//   song_cli stats    --graph graph.sngg
+//   song_cli gt       --data data.sngd --queries queries.sngd --k 100
+//                     --out gt.sngd   (ids stored as float rows)
+//   song_cli search   --data data.sngd --graph graph.sngg
+//                     --queries queries.sngd [--k 10] [--queue 64]
+//                     [--config hashtable|sel|seldel|bloom|cuckoo]
+//                     [--gt gt.sngd] [--gpu v100|p40|titanx]
+//
+// Everything uses the library's binary formats (SNGD datasets, SNGG graphs).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/flat_index.h"
+#include "core/recall.h"
+#include "core/timer.h"
+#include "data/synthetic.h"
+#include "gpusim/simulator.h"
+#include "graph/graph_stats.h"
+#include "graph/nsw_builder.h"
+#include "song/song_searcher.h"
+
+namespace {
+
+using namespace song;  // NOLINT: CLI main file
+
+using Flags = std::map<std::string, std::string>;
+
+Flags ParseFlags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+    arg = arg.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags[arg] = argv[++i];
+    } else {
+      flags[arg] = "1";
+    }
+  }
+  return flags;
+}
+
+std::string Require(const Flags& flags, const std::string& key) {
+  const auto it = flags.find(key);
+  if (it == flags.end()) {
+    std::fprintf(stderr, "missing required flag --%s\n", key.c_str());
+    std::exit(2);
+  }
+  return it->second;
+}
+
+std::string Optional(const Flags& flags, const std::string& key,
+                     const std::string& fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+Metric ParseMetric(const std::string& name) {
+  if (name == "l2") return Metric::kL2;
+  if (name == "ip") return Metric::kInnerProduct;
+  if (name == "cosine") return Metric::kCosine;
+  std::fprintf(stderr, "unknown metric: %s\n", name.c_str());
+  std::exit(2);
+}
+
+GpuSpec ParseGpu(const std::string& name) {
+  if (name == "v100") return GpuSpec::V100();
+  if (name == "p40") return GpuSpec::P40();
+  if (name == "titanx") return GpuSpec::TitanX();
+  std::fprintf(stderr, "unknown gpu: %s\n", name.c_str());
+  std::exit(2);
+}
+
+SongSearchOptions ParseConfig(const std::string& name) {
+  if (name == "hashtable") return SongSearchOptions::HashTable();
+  if (name == "sel") return SongSearchOptions::HashTableSel();
+  if (name == "seldel") return SongSearchOptions::HashTableSelDel();
+  if (name == "bloom") return SongSearchOptions::Bloom();
+  if (name == "cuckoo") return SongSearchOptions::Cuckoo();
+  std::fprintf(stderr, "unknown config: %s\n", name.c_str());
+  std::exit(2);
+}
+
+Dataset LoadDatasetOrDie(const std::string& path) {
+  auto loaded = Dataset::Load(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(loaded.value());
+}
+
+int CmdGen(const Flags& flags) {
+  const std::string preset = Require(flags, "preset");
+  const double scale = std::atof(Optional(flags, "scale", "1.0").c_str());
+  SyntheticSpec spec = PresetSpec(preset, scale > 0 ? scale : 1.0);
+  const SyntheticData gen = GenerateSynthetic(spec);
+  const std::string out = Require(flags, "out");
+  Status s = gen.points.Save(out);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu x %zu points to %s\n", gen.points.num(),
+              gen.points.dim(), out.c_str());
+  const auto q = flags.find("queries");
+  if (q != flags.end()) {
+    s = gen.queries.Save(q->second);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu queries to %s\n", gen.queries.num(),
+                q->second.c_str());
+  }
+  return 0;
+}
+
+int CmdBuild(const Flags& flags) {
+  const Dataset data = LoadDatasetOrDie(Require(flags, "data"));
+  NswBuildOptions options;
+  options.degree = std::strtoul(Optional(flags, "degree", "16").c_str(),
+                                nullptr, 10);
+  options.ef_construction =
+      std::strtoul(Optional(flags, "ef", "100").c_str(), nullptr, 10);
+  const Metric metric = ParseMetric(Optional(flags, "metric", "l2"));
+  Timer timer;
+  const FixedDegreeGraph graph = NswBuilder::Build(data, metric, options);
+  std::printf("built NSW graph (degree %zu) over %zu points in %.2fs\n",
+              graph.degree(), graph.num_vertices(), timer.ElapsedSeconds());
+  const Status s = graph.Save(Require(flags, "out"));
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int CmdStats(const Flags& flags) {
+  auto loaded = FixedDegreeGraph::Load(Require(flags, "graph"));
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  const GraphStats stats = ComputeGraphStats(loaded.value());
+  std::printf("vertices:        %zu\n", stats.num_vertices);
+  std::printf("degree capacity: %zu\n", stats.degree_capacity);
+  std::printf("degree min/avg/max: %zu / %.2f / %zu\n", stats.min_degree,
+              stats.avg_degree, stats.max_degree);
+  std::printf("reachable from 0: %zu (%.2f%%)\n", stats.reachable,
+              100.0 * stats.reachable / stats.num_vertices);
+  std::printf("memory: %.2f MB\n", stats.memory_bytes / (1024.0 * 1024.0));
+  return 0;
+}
+
+int CmdGroundTruth(const Flags& flags) {
+  const Dataset data = LoadDatasetOrDie(Require(flags, "data"));
+  const Dataset queries = LoadDatasetOrDie(Require(flags, "queries"));
+  const size_t k = std::strtoul(Optional(flags, "k", "100").c_str(),
+                                nullptr, 10);
+  const Metric metric = ParseMetric(Optional(flags, "metric", "l2"));
+  FlatIndex flat(&data, metric);
+  const auto results = flat.BatchSearch(queries, k);
+  // Store as a float matrix of ids (reuses the SNGD container).
+  Dataset gt(queries.num(), k);
+  std::vector<float> row(k, -1.0f);
+  for (size_t q = 0; q < queries.num(); ++q) {
+    std::fill(row.begin(), row.end(), -1.0f);
+    for (size_t i = 0; i < results[q].size(); ++i) {
+      row[i] = static_cast<float>(results[q][i].id);
+    }
+    gt.SetRow(static_cast<idx_t>(q), row.data());
+  }
+  const Status s = gt.Save(Require(flags, "out"));
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote exact top-%zu for %zu queries\n", k, queries.num());
+  return 0;
+}
+
+int CmdSearch(const Flags& flags) {
+  const Dataset data = LoadDatasetOrDie(Require(flags, "data"));
+  const Dataset queries = LoadDatasetOrDie(Require(flags, "queries"));
+  auto graph_loaded = FixedDegreeGraph::Load(Require(flags, "graph"));
+  if (!graph_loaded.ok()) {
+    std::fprintf(stderr, "%s\n", graph_loaded.status().ToString().c_str());
+    return 1;
+  }
+  const FixedDegreeGraph graph = std::move(graph_loaded.value());
+  const Metric metric = ParseMetric(Optional(flags, "metric", "l2"));
+  const size_t k = std::strtoul(Optional(flags, "k", "10").c_str(), nullptr,
+                                10);
+  SongSearchOptions options =
+      ParseConfig(Optional(flags, "config", "seldel"));
+  options.queue_size = std::strtoul(Optional(flags, "queue", "64").c_str(),
+                                    nullptr, 10);
+
+  SongSearcher searcher(&data, &graph, metric);
+  const GpuSpec gpu = ParseGpu(Optional(flags, "gpu", "v100"));
+  const SimulatedRun run = SimulateBatch(searcher, queries, k, options, gpu);
+
+  std::printf("queries: %zu, k=%zu, queue=%zu, config=%s\n", queries.num(),
+              k, options.queue_size, options.Name().c_str());
+  std::printf("CPU wall: %.3fs (%.0f QPS)\n", run.batch.wall_seconds,
+              run.batch.Qps());
+  std::printf("simulated %s: %.0f QPS (locate %.1f%% / distance %.1f%% / "
+              "maintain %.1f%%)\n",
+              gpu.name.c_str(), run.SimQps(), run.gpu.LocatePct(),
+              run.gpu.DistancePct(), run.gpu.MaintainPct());
+
+  const auto gt_flag = flags.find("gt");
+  if (gt_flag != flags.end()) {
+    const Dataset gt = LoadDatasetOrDie(gt_flag->second);
+    std::vector<std::vector<idx_t>> truth(gt.num());
+    for (size_t q = 0; q < gt.num(); ++q) {
+      for (size_t i = 0; i < gt.dim(); ++i) {
+        const float v = gt.Row(static_cast<idx_t>(q))[i];
+        if (v >= 0.0f) truth[q].push_back(static_cast<idx_t>(v));
+      }
+    }
+    std::printf("recall@%zu: %.4f\n", k,
+                MeanRecallAtK(run.batch.Ids(), truth, k));
+  } else {
+    const auto& first = run.batch.results.empty() ? std::vector<Neighbor>{}
+                                                  : run.batch.results[0];
+    std::printf("query 0 top-%zu:", k);
+    for (const Neighbor& n : first) std::printf(" %u(%.3f)", n.id, n.dist);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: song_cli <gen|build|stats|gt|search> [--flags]\n"
+               "see the header comment of tools/song_cli.cc\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const Flags flags = ParseFlags(argc, argv, 2);
+  if (cmd == "gen") return CmdGen(flags);
+  if (cmd == "build") return CmdBuild(flags);
+  if (cmd == "stats") return CmdStats(flags);
+  if (cmd == "gt") return CmdGroundTruth(flags);
+  if (cmd == "search") return CmdSearch(flags);
+  Usage();
+  return 2;
+}
