@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_memory_planner.dir/bench_ext_memory_planner.cc.o"
+  "CMakeFiles/bench_ext_memory_planner.dir/bench_ext_memory_planner.cc.o.d"
+  "bench_ext_memory_planner"
+  "bench_ext_memory_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_memory_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_nsg.dir/bench_fig12_nsg.cc.o"
+  "CMakeFiles/bench_fig12_nsg.dir/bench_fig12_nsg.cc.o.d"
+  "bench_fig12_nsg"
+  "bench_fig12_nsg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_nsg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_hashing.dir/bench_fig14_hashing.cc.o"
+  "CMakeFiles/bench_fig14_hashing.dir/bench_fig14_hashing.cc.o.d"
+  "bench_fig14_hashing"
+  "bench_fig14_hashing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_hashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_cpu_song.dir/bench_fig15_cpu_song.cc.o"
+  "CMakeFiles/bench_fig15_cpu_song.dir/bench_fig15_cpu_song.cc.o.d"
+  "bench_fig15_cpu_song"
+  "bench_fig15_cpu_song.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_cpu_song.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_speedup_hnsw.dir/bench_fig6_speedup_hnsw.cc.o"
+  "CMakeFiles/bench_fig6_speedup_hnsw.dir/bench_fig6_speedup_hnsw.cc.o.d"
+  "bench_fig6_speedup_hnsw"
+  "bench_fig6_speedup_hnsw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_speedup_hnsw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_hash_alternatives.dir/bench_fig7_hash_alternatives.cc.o"
+  "CMakeFiles/bench_fig7_hash_alternatives.dir/bench_fig7_hash_alternatives.cc.o.d"
+  "bench_fig7_hash_alternatives"
+  "bench_fig7_hash_alternatives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_hash_alternatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_simt.dir/bench_micro_simt.cc.o"
+  "CMakeFiles/bench_micro_simt.dir/bench_micro_simt.cc.o.d"
+  "bench_micro_simt"
+  "bench_micro_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

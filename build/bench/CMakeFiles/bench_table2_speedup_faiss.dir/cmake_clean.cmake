@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_speedup_faiss.dir/bench_table2_speedup_faiss.cc.o"
+  "CMakeFiles/bench_table2_speedup_faiss.dir/bench_table2_speedup_faiss.cc.o.d"
+  "bench_table2_speedup_faiss"
+  "bench_table2_speedup_faiss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_speedup_faiss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

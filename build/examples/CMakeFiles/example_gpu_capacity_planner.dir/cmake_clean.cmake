@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_gpu_capacity_planner.dir/gpu_capacity_planner.cpp.o"
+  "CMakeFiles/example_gpu_capacity_planner.dir/gpu_capacity_planner.cpp.o.d"
+  "example_gpu_capacity_planner"
+  "example_gpu_capacity_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_gpu_capacity_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_out_of_memory_hashing.dir/out_of_memory_hashing.cpp.o"
+  "CMakeFiles/example_out_of_memory_hashing.dir/out_of_memory_hashing.cpp.o.d"
+  "example_out_of_memory_hashing"
+  "example_out_of_memory_hashing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_out_of_memory_hashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_semantic_search.dir/semantic_search.cpp.o"
+  "CMakeFiles/example_semantic_search.dir/semantic_search.cpp.o.d"
+  "example_semantic_search"
+  "example_semantic_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_semantic_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

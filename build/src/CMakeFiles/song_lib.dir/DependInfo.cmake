@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/flat_index.cc" "src/CMakeFiles/song_lib.dir/baselines/flat_index.cc.o" "gcc" "src/CMakeFiles/song_lib.dir/baselines/flat_index.cc.o.d"
+  "/root/repo/src/baselines/hnsw.cc" "src/CMakeFiles/song_lib.dir/baselines/hnsw.cc.o" "gcc" "src/CMakeFiles/song_lib.dir/baselines/hnsw.cc.o.d"
+  "/root/repo/src/baselines/ivfpq.cc" "src/CMakeFiles/song_lib.dir/baselines/ivfpq.cc.o" "gcc" "src/CMakeFiles/song_lib.dir/baselines/ivfpq.cc.o.d"
+  "/root/repo/src/baselines/kmeans.cc" "src/CMakeFiles/song_lib.dir/baselines/kmeans.cc.o" "gcc" "src/CMakeFiles/song_lib.dir/baselines/kmeans.cc.o.d"
+  "/root/repo/src/baselines/pq.cc" "src/CMakeFiles/song_lib.dir/baselines/pq.cc.o" "gcc" "src/CMakeFiles/song_lib.dir/baselines/pq.cc.o.d"
+  "/root/repo/src/core/dataset.cc" "src/CMakeFiles/song_lib.dir/core/dataset.cc.o" "gcc" "src/CMakeFiles/song_lib.dir/core/dataset.cc.o.d"
+  "/root/repo/src/core/distance.cc" "src/CMakeFiles/song_lib.dir/core/distance.cc.o" "gcc" "src/CMakeFiles/song_lib.dir/core/distance.cc.o.d"
+  "/root/repo/src/core/recall.cc" "src/CMakeFiles/song_lib.dir/core/recall.cc.o" "gcc" "src/CMakeFiles/song_lib.dir/core/recall.cc.o.d"
+  "/root/repo/src/core/thread_pool.cc" "src/CMakeFiles/song_lib.dir/core/thread_pool.cc.o" "gcc" "src/CMakeFiles/song_lib.dir/core/thread_pool.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/song_lib.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/song_lib.dir/data/synthetic.cc.o.d"
+  "/root/repo/src/data/workload.cc" "src/CMakeFiles/song_lib.dir/data/workload.cc.o" "gcc" "src/CMakeFiles/song_lib.dir/data/workload.cc.o.d"
+  "/root/repo/src/gpusim/cost_model.cc" "src/CMakeFiles/song_lib.dir/gpusim/cost_model.cc.o" "gcc" "src/CMakeFiles/song_lib.dir/gpusim/cost_model.cc.o.d"
+  "/root/repo/src/gpusim/device_memory.cc" "src/CMakeFiles/song_lib.dir/gpusim/device_memory.cc.o" "gcc" "src/CMakeFiles/song_lib.dir/gpusim/device_memory.cc.o.d"
+  "/root/repo/src/gpusim/sharded.cc" "src/CMakeFiles/song_lib.dir/gpusim/sharded.cc.o" "gcc" "src/CMakeFiles/song_lib.dir/gpusim/sharded.cc.o.d"
+  "/root/repo/src/gpusim/simt_kernel.cc" "src/CMakeFiles/song_lib.dir/gpusim/simt_kernel.cc.o" "gcc" "src/CMakeFiles/song_lib.dir/gpusim/simt_kernel.cc.o.d"
+  "/root/repo/src/gpusim/simt_warp.cc" "src/CMakeFiles/song_lib.dir/gpusim/simt_warp.cc.o" "gcc" "src/CMakeFiles/song_lib.dir/gpusim/simt_warp.cc.o.d"
+  "/root/repo/src/graph/csr_graph.cc" "src/CMakeFiles/song_lib.dir/graph/csr_graph.cc.o" "gcc" "src/CMakeFiles/song_lib.dir/graph/csr_graph.cc.o.d"
+  "/root/repo/src/graph/fixed_degree_graph.cc" "src/CMakeFiles/song_lib.dir/graph/fixed_degree_graph.cc.o" "gcc" "src/CMakeFiles/song_lib.dir/graph/fixed_degree_graph.cc.o.d"
+  "/root/repo/src/graph/graph_search.cc" "src/CMakeFiles/song_lib.dir/graph/graph_search.cc.o" "gcc" "src/CMakeFiles/song_lib.dir/graph/graph_search.cc.o.d"
+  "/root/repo/src/graph/graph_stats.cc" "src/CMakeFiles/song_lib.dir/graph/graph_stats.cc.o" "gcc" "src/CMakeFiles/song_lib.dir/graph/graph_stats.cc.o.d"
+  "/root/repo/src/graph/knn_graph.cc" "src/CMakeFiles/song_lib.dir/graph/knn_graph.cc.o" "gcc" "src/CMakeFiles/song_lib.dir/graph/knn_graph.cc.o.d"
+  "/root/repo/src/graph/nn_descent.cc" "src/CMakeFiles/song_lib.dir/graph/nn_descent.cc.o" "gcc" "src/CMakeFiles/song_lib.dir/graph/nn_descent.cc.o.d"
+  "/root/repo/src/graph/nsg_builder.cc" "src/CMakeFiles/song_lib.dir/graph/nsg_builder.cc.o" "gcc" "src/CMakeFiles/song_lib.dir/graph/nsg_builder.cc.o.d"
+  "/root/repo/src/graph/nsw_builder.cc" "src/CMakeFiles/song_lib.dir/graph/nsw_builder.cc.o" "gcc" "src/CMakeFiles/song_lib.dir/graph/nsw_builder.cc.o.d"
+  "/root/repo/src/hashing/hashed_index.cc" "src/CMakeFiles/song_lib.dir/hashing/hashed_index.cc.o" "gcc" "src/CMakeFiles/song_lib.dir/hashing/hashed_index.cc.o.d"
+  "/root/repo/src/hashing/random_projection.cc" "src/CMakeFiles/song_lib.dir/hashing/random_projection.cc.o" "gcc" "src/CMakeFiles/song_lib.dir/hashing/random_projection.cc.o.d"
+  "/root/repo/src/song/batch_engine.cc" "src/CMakeFiles/song_lib.dir/song/batch_engine.cc.o" "gcc" "src/CMakeFiles/song_lib.dir/song/batch_engine.cc.o.d"
+  "/root/repo/src/song/song_searcher.cc" "src/CMakeFiles/song_lib.dir/song/song_searcher.cc.o" "gcc" "src/CMakeFiles/song_lib.dir/song/song_searcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

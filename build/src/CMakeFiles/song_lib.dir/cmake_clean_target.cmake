@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsong_lib.a"
+)

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines/baselines_test.cc" "tests/CMakeFiles/song_tests.dir/baselines/baselines_test.cc.o" "gcc" "tests/CMakeFiles/song_tests.dir/baselines/baselines_test.cc.o.d"
+  "/root/repo/tests/baselines/hnsw_io_test.cc" "tests/CMakeFiles/song_tests.dir/baselines/hnsw_io_test.cc.o" "gcc" "tests/CMakeFiles/song_tests.dir/baselines/hnsw_io_test.cc.o.d"
+  "/root/repo/tests/baselines/ivfpq_io_test.cc" "tests/CMakeFiles/song_tests.dir/baselines/ivfpq_io_test.cc.o" "gcc" "tests/CMakeFiles/song_tests.dir/baselines/ivfpq_io_test.cc.o.d"
+  "/root/repo/tests/baselines/ivfpq_stats_test.cc" "tests/CMakeFiles/song_tests.dir/baselines/ivfpq_stats_test.cc.o" "gcc" "tests/CMakeFiles/song_tests.dir/baselines/ivfpq_stats_test.cc.o.d"
+  "/root/repo/tests/core/dataset_test.cc" "tests/CMakeFiles/song_tests.dir/core/dataset_test.cc.o" "gcc" "tests/CMakeFiles/song_tests.dir/core/dataset_test.cc.o.d"
+  "/root/repo/tests/core/distance_test.cc" "tests/CMakeFiles/song_tests.dir/core/distance_test.cc.o" "gcc" "tests/CMakeFiles/song_tests.dir/core/distance_test.cc.o.d"
+  "/root/repo/tests/core/misc_core_test.cc" "tests/CMakeFiles/song_tests.dir/core/misc_core_test.cc.o" "gcc" "tests/CMakeFiles/song_tests.dir/core/misc_core_test.cc.o.d"
+  "/root/repo/tests/core/random_test.cc" "tests/CMakeFiles/song_tests.dir/core/random_test.cc.o" "gcc" "tests/CMakeFiles/song_tests.dir/core/random_test.cc.o.d"
+  "/root/repo/tests/core/status_test.cc" "tests/CMakeFiles/song_tests.dir/core/status_test.cc.o" "gcc" "tests/CMakeFiles/song_tests.dir/core/status_test.cc.o.d"
+  "/root/repo/tests/data/data_test.cc" "tests/CMakeFiles/song_tests.dir/data/data_test.cc.o" "gcc" "tests/CMakeFiles/song_tests.dir/data/data_test.cc.o.d"
+  "/root/repo/tests/gpusim/cost_model_test.cc" "tests/CMakeFiles/song_tests.dir/gpusim/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/song_tests.dir/gpusim/cost_model_test.cc.o.d"
+  "/root/repo/tests/gpusim/device_memory_test.cc" "tests/CMakeFiles/song_tests.dir/gpusim/device_memory_test.cc.o" "gcc" "tests/CMakeFiles/song_tests.dir/gpusim/device_memory_test.cc.o.d"
+  "/root/repo/tests/gpusim/sharded_test.cc" "tests/CMakeFiles/song_tests.dir/gpusim/sharded_test.cc.o" "gcc" "tests/CMakeFiles/song_tests.dir/gpusim/sharded_test.cc.o.d"
+  "/root/repo/tests/gpusim/simt_test.cc" "tests/CMakeFiles/song_tests.dir/gpusim/simt_test.cc.o" "gcc" "tests/CMakeFiles/song_tests.dir/gpusim/simt_test.cc.o.d"
+  "/root/repo/tests/graph/csr_and_nn_descent_test.cc" "tests/CMakeFiles/song_tests.dir/graph/csr_and_nn_descent_test.cc.o" "gcc" "tests/CMakeFiles/song_tests.dir/graph/csr_and_nn_descent_test.cc.o.d"
+  "/root/repo/tests/graph/graph_test.cc" "tests/CMakeFiles/song_tests.dir/graph/graph_test.cc.o" "gcc" "tests/CMakeFiles/song_tests.dir/graph/graph_test.cc.o.d"
+  "/root/repo/tests/graph/repair_test.cc" "tests/CMakeFiles/song_tests.dir/graph/repair_test.cc.o" "gcc" "tests/CMakeFiles/song_tests.dir/graph/repair_test.cc.o.d"
+  "/root/repo/tests/hashing/hashing_test.cc" "tests/CMakeFiles/song_tests.dir/hashing/hashing_test.cc.o" "gcc" "tests/CMakeFiles/song_tests.dir/hashing/hashing_test.cc.o.d"
+  "/root/repo/tests/integration/reproduction_smoke_test.cc" "tests/CMakeFiles/song_tests.dir/integration/reproduction_smoke_test.cc.o" "gcc" "tests/CMakeFiles/song_tests.dir/integration/reproduction_smoke_test.cc.o.d"
+  "/root/repo/tests/song/batch_engine_extras_test.cc" "tests/CMakeFiles/song_tests.dir/song/batch_engine_extras_test.cc.o" "gcc" "tests/CMakeFiles/song_tests.dir/song/batch_engine_extras_test.cc.o.d"
+  "/root/repo/tests/song/bounded_heap_test.cc" "tests/CMakeFiles/song_tests.dir/song/bounded_heap_test.cc.o" "gcc" "tests/CMakeFiles/song_tests.dir/song/bounded_heap_test.cc.o.d"
+  "/root/repo/tests/song/mips_test.cc" "tests/CMakeFiles/song_tests.dir/song/mips_test.cc.o" "gcc" "tests/CMakeFiles/song_tests.dir/song/mips_test.cc.o.d"
+  "/root/repo/tests/song/search_core_edge_test.cc" "tests/CMakeFiles/song_tests.dir/song/search_core_edge_test.cc.o" "gcc" "tests/CMakeFiles/song_tests.dir/song/search_core_edge_test.cc.o.d"
+  "/root/repo/tests/song/smmh_exhaustive_test.cc" "tests/CMakeFiles/song_tests.dir/song/smmh_exhaustive_test.cc.o" "gcc" "tests/CMakeFiles/song_tests.dir/song/smmh_exhaustive_test.cc.o.d"
+  "/root/repo/tests/song/song_searcher_test.cc" "tests/CMakeFiles/song_tests.dir/song/song_searcher_test.cc.o" "gcc" "tests/CMakeFiles/song_tests.dir/song/song_searcher_test.cc.o.d"
+  "/root/repo/tests/song/visited_structures_test.cc" "tests/CMakeFiles/song_tests.dir/song/visited_structures_test.cc.o" "gcc" "tests/CMakeFiles/song_tests.dir/song/visited_structures_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/song_lib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

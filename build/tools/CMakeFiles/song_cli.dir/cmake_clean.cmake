@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/song_cli.dir/song_cli.cc.o"
+  "CMakeFiles/song_cli.dir/song_cli.cc.o.d"
+  "song_cli"
+  "song_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/song_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
