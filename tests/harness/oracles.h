@@ -1,0 +1,120 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// Reference oracles for the differential harness: trivially-correct
+// standard-library implementations of the bounded double-ended priority
+// queue, the bounded top-k heap, and the visited set. The production
+// structures in src/song/ are checked move-for-move against these on
+// randomized op sequences (tests/harness/structure_fuzz_test.cc) and inside
+// a full mirrored search (tests/harness/reference_search.*). Oracles favour
+// obviousness over speed — a std::multiset is slow and correct by
+// construction, which is exactly the point.
+
+#ifndef SONG_TESTS_HARNESS_ORACLES_H_
+#define SONG_TESTS_HARNESS_ORACLES_H_
+
+#include <cstddef>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "core/types.h"
+
+namespace song::harness {
+
+/// Oracle twin of SymmetricMinMaxHeap: a bounded double-ended priority queue
+/// over Neighbor (operator< orders by distance, ties on id). Also doubles as
+/// the oracle for BoundedMaxHeap, whose PushBounded semantics are identical.
+class OracleBoundedQueue {
+ public:
+  explicit OracleBoundedQueue(size_t capacity = 0) : capacity_(capacity) {}
+
+  void Reset(size_t capacity) {
+    capacity_ = capacity;
+    set_.clear();
+  }
+  void Clear() { set_.clear(); }
+
+  size_t size() const { return set_.size(); }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return set_.empty(); }
+  bool full() const { return set_.size() >= capacity_; }
+
+  Neighbor Min() const { return *set_.begin(); }
+  Neighbor Max() const { return *set_.rbegin(); }
+
+  /// Mirrors SymmetricMinMaxHeap::Push (caller guarantees !full()).
+  void Push(const Neighbor& x) { set_.insert(x); }
+
+  /// Mirrors {SymmetricMinMaxHeap,BoundedMaxHeap}::PushBounded: inserts,
+  /// evicting the maximum when full; rejects x when !(x < Max()).
+  bool PushBounded(const Neighbor& x, Neighbor* evicted = nullptr) {
+    if (!full()) {
+      set_.insert(x);
+      return true;
+    }
+    if (!(x < Max())) return false;
+    if (evicted != nullptr) *evicted = Max();
+    set_.erase(std::prev(set_.end()));
+    set_.insert(x);
+    return true;
+  }
+
+  Neighbor PopMin() {
+    const Neighbor n = *set_.begin();
+    set_.erase(set_.begin());
+    return n;
+  }
+
+  Neighbor PopMax() {
+    const Neighbor n = *set_.rbegin();
+    set_.erase(std::prev(set_.end()));
+    return n;
+  }
+
+  /// Contents sorted ascending — what BoundedMaxHeap::TakeSorted returns and
+  /// the order SymmetricMinMaxHeap drains in under repeated PopMin.
+  std::vector<Neighbor> Sorted() const {
+    return std::vector<Neighbor>(set_.begin(), set_.end());
+  }
+
+ private:
+  std::multiset<Neighbor> set_;
+  size_t capacity_ = 0;
+};
+
+/// Oracle twin of the exact visited structures (OpenAddressingSet behind
+/// VisitedTable, and the epoch array). `capacity` = 0 models an unbounded
+/// set; otherwise Insert fails exactly when `size() >= capacity` — which is
+/// also the precise saturation contract of OpenAddressingSet: its slot array
+/// (2x capacity, tombstone-reusing full scan) can always place a key while
+/// the live count is below the declared element capacity.
+class OracleVisitedSet {
+ public:
+  explicit OracleVisitedSet(size_t capacity = 0) : capacity_(capacity) {}
+
+  void Reset(size_t capacity) {
+    capacity_ = capacity;
+    set_.clear();
+  }
+  void Clear() { set_.clear(); }
+
+  size_t size() const { return set_.size(); }
+  bool Test(idx_t key) const { return set_.count(key) != 0; }
+
+  bool Insert(idx_t key) {
+    if (set_.count(key) != 0) return false;
+    if (capacity_ != 0 && set_.size() >= capacity_) return false;
+    set_.insert(key);
+    return true;
+  }
+
+  bool Erase(idx_t key) { return set_.erase(key) != 0; }
+
+ private:
+  std::unordered_set<idx_t> set_;
+  size_t capacity_ = 0;
+};
+
+}  // namespace song::harness
+
+#endif  // SONG_TESTS_HARNESS_ORACLES_H_

@@ -1,0 +1,117 @@
+#include "harness/reference_search.h"
+
+#include <algorithm>
+
+#include "harness/oracles.h"
+
+namespace song::harness {
+
+ReferenceSearchResult ReferenceSongSearch(
+    const FixedDegreeGraph& graph, idx_t entry, size_t k,
+    const SongSearchOptions& options, size_t visited_capacity,
+    const std::function<float(idx_t)>& distance) {
+  const size_t ef = std::max(options.queue_size, k);
+  const size_t degree = graph.degree();
+  const size_t multi_step = std::max<size_t>(1, options.multi_step_probe);
+  const bool deletion_ok =
+      options.visited_deletion &&
+      options.structure != VisitedStructure::kBloomFilter;
+
+  OracleBoundedQueue q(ef);
+  OracleBoundedQueue topk(ef);
+  OracleVisitedSet visited(visited_capacity);
+  std::vector<idx_t> candidates;
+
+  ReferenceSearchResult out;
+
+  const float entry_dist = distance(entry);
+  out.visit_order.push_back(entry);
+  visited.Insert(entry);
+  q.Push(Neighbor(entry_dist, entry));
+
+  while (!q.empty()) {
+    ++out.iterations;
+
+    // Stage 1: candidate locating.
+    candidates.clear();
+    bool terminate = false;
+    for (size_t step = 0; step < multi_step && !q.empty(); ++step) {
+      const Neighbor now = q.Min();
+      // Strictly-greater termination: equal-distance vertices still expand.
+      if (topk.full() && now.dist > topk.Max().dist) {
+        if (step == 0) terminate = true;
+        break;
+      }
+      q.PopMin();
+
+      Neighbor evicted;
+      const bool had_eviction = topk.full();
+      const bool entered_topk = topk.PushBounded(now, &evicted);
+      if (entered_topk && had_eviction && deletion_ok) {
+        visited.Erase(evicted.id);
+      }
+      // A popped vertex that failed to enter topk (exact tie with the
+      // current maximum) stays in `visited` — mirroring search_core.h.
+
+      const idx_t* row = graph.Row(now.id);
+      for (size_t i = 0; i < degree && row[i] != kInvalidIdx; ++i) {
+        const idx_t v = row[i];
+        if (visited.Test(v)) continue;
+        if (std::find(candidates.begin(), candidates.end(), v) ==
+            candidates.end()) {
+          candidates.push_back(v);
+        }
+      }
+    }
+    if (terminate) break;
+    if (candidates.empty()) continue;
+
+    // Stage 2: bulk distance computation.
+    std::vector<float> dists(candidates.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      dists[i] = distance(candidates[i]);
+      out.visit_order.push_back(candidates[i]);
+    }
+
+    // Stage 3: maintenance.
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      const Neighbor cand(dists[i], candidates[i]);
+      if (options.selected_insertion && topk.full() &&
+          cand.dist > topk.Max().dist) {
+        continue;  // §IV-D filter
+      }
+      if (!visited.Insert(cand.id)) {
+        ++out.visited_insert_failures;
+        continue;  // saturated structure: treated as visited
+      }
+      Neighbor evicted;
+      const bool had_eviction = q.full();
+      const bool accepted = q.PushBounded(cand, &evicted);
+      if (!accepted) {
+        if (deletion_ok) visited.Erase(cand.id);
+        continue;
+      }
+      if (had_eviction && deletion_ok) {
+        visited.Erase(evicted.id);
+      }
+    }
+  }
+
+  out.results = topk.Sorted();
+  if (out.results.size() > k) out.results.resize(k);
+  return out;
+}
+
+std::vector<Neighbor> BruteForceTopK(
+    size_t num_points, size_t k, const std::function<float(idx_t)>& distance) {
+  std::vector<Neighbor> all;
+  all.reserve(num_points);
+  for (size_t v = 0; v < num_points; ++v) {
+    all.emplace_back(distance(static_cast<idx_t>(v)), static_cast<idx_t>(v));
+  }
+  std::sort(all.begin(), all.end());
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+}  // namespace song::harness

@@ -1,0 +1,48 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// Oracle-backed reference implementation of the SONG 3-stage search
+// (src/song/search_core.h), built on the std:: oracles in oracles.h instead
+// of the production SMMH / bounded heap / open-addressing structures. It
+// mirrors the paper's semantics statement-for-statement — bounded queue
+// (§IV-C), selected insertion (§IV-D), visited deletion (§IV-E), multi-step
+// probing (§V), the strict-termination tie rule — and records the exact
+// sequence of distance computations, so SongSearchCore can be required to
+// visit the *same vertices in the same order* and return the *same
+// neighbors*, the paper's core GPU-equals-CPU claim.
+
+#ifndef SONG_TESTS_HARNESS_REFERENCE_SEARCH_H_
+#define SONG_TESTS_HARNESS_REFERENCE_SEARCH_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/types.h"
+#include "graph/fixed_degree_graph.h"
+#include "song/search_options.h"
+
+namespace song::harness {
+
+struct ReferenceSearchResult {
+  std::vector<Neighbor> results;    ///< final top-k, ascending
+  std::vector<idx_t> visit_order;   ///< every distance computation, in order
+  size_t iterations = 0;            ///< main-loop rounds
+  size_t visited_insert_failures = 0;
+};
+
+/// Runs the reference search. `visited_capacity` = 0 models an unbounded
+/// exact visited set; pass internal::AutoHashCapacity(...) to model the
+/// saturation behaviour of a bounded OpenAddressingSet exactly.
+ReferenceSearchResult ReferenceSongSearch(
+    const FixedDegreeGraph& graph, idx_t entry, size_t k,
+    const SongSearchOptions& options, size_t visited_capacity,
+    const std::function<float(idx_t)>& distance);
+
+/// Exact top-k by exhaustive scan over [0, num_points) — the ground truth
+/// for recall-based metamorphic properties.
+std::vector<Neighbor> BruteForceTopK(
+    size_t num_points, size_t k, const std::function<float(idx_t)>& distance);
+
+}  // namespace song::harness
+
+#endif  // SONG_TESTS_HARNESS_REFERENCE_SEARCH_H_

@@ -1,0 +1,73 @@
+// Harness self-test: proves the differential harness actually has teeth by
+// planting two known bugs behind the test-only hooks in
+// src/song/debug_hooks.h and asserting the oracle comparison catches both —
+// then asserting the very same runners pass clean once the fault is lifted.
+// A fuzz harness that cannot detect a planted off-by-one is worse than none:
+// it would launder broken structures as "verified".
+
+#include "gtest/gtest.h"
+#include "harness/fuzz.h"
+#include "song/debug_hooks.h"
+
+namespace song::harness {
+namespace {
+
+// Smaller round counts than the real suites: detection must be quick, and
+// every round after the first detection is wasted work.
+constexpr size_t kRounds = 60;
+
+TEST(HarnessSelfTest, DetectsPlantedSmmhSiftOffByOne) {
+  {
+    hooks::ScopedFault fault(&hooks::smmh_sift_off_by_one);
+    const DifferentialReport broken = FuzzSmmhVsOracle(BaseSeed(), kRounds);
+    EXPECT_GT(broken.failures, 0u)
+        << "harness failed to detect the planted SMMH sift off-by-one";
+  }
+  const DifferentialReport clean = FuzzSmmhVsOracle(BaseSeed(), kRounds);
+  EXPECT_EQ(clean.failures, 0u) << clean.first_divergence;
+}
+
+TEST(HarnessSelfTest, SmmhFaultAlsoSurfacesInSearchDifferential) {
+  // The corrupted queue mis-orders pops, so the full pipeline visits
+  // different vertices than the reference — the end-to-end harness must see
+  // it too, not just the unit-level fuzz.
+  {
+    hooks::ScopedFault fault(&hooks::smmh_sift_off_by_one);
+    const DifferentialReport broken =
+        FuzzSearchDifferential(VisitedStructure::kHashTable, BaseSeed(), 120);
+    EXPECT_GT(broken.failures, 0u)
+        << "search differential failed to detect the SMMH fault";
+  }
+  const DifferentialReport clean =
+      FuzzSearchDifferential(VisitedStructure::kHashTable, BaseSeed(), 120);
+  EXPECT_EQ(clean.failures, 0u) << clean.first_divergence;
+}
+
+TEST(HarnessSelfTest, DetectsPlantedHashSetDroppedGrowth) {
+  {
+    hooks::ScopedFault fault(&hooks::hash_set_skip_growth);
+    const DifferentialReport broken = FuzzExactVisitedVsOracle(
+        VisitedStructure::kHashTable, BaseSeed(), kRounds);
+    EXPECT_GT(broken.failures, 0u)
+        << "harness failed to detect the planted dropped hash-set resize";
+  }
+  const DifferentialReport clean = FuzzExactVisitedVsOracle(
+      VisitedStructure::kHashTable, BaseSeed(), kRounds);
+  EXPECT_EQ(clean.failures, 0u) << clean.first_divergence;
+}
+
+TEST(HarnessSelfTest, DroppedGrowthAlsoSurfacesInSaturationFuzz) {
+  {
+    hooks::ScopedFault fault(&hooks::hash_set_skip_growth);
+    const DifferentialReport broken =
+        FuzzOpenAddressingSaturation(BaseSeed(), kRounds);
+    EXPECT_GT(broken.failures, 0u)
+        << "saturation fuzz failed to detect the dropped resize";
+  }
+  const DifferentialReport clean =
+      FuzzOpenAddressingSaturation(BaseSeed(), kRounds);
+  EXPECT_EQ(clean.failures, 0u) << clean.first_divergence;
+}
+
+}  // namespace
+}  // namespace song::harness
