@@ -266,7 +266,8 @@ bench/CMakeFiles/bench_fig14_hashing.dir/bench_fig14_hashing.cc.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/song/cuckoo_filter.h /root/repo/src/core/random.h \
  /root/repo/src/song/open_addressing_set.h \
- /root/repo/src/hashing/hashed_index.h /root/repo/src/core/bitvector.h \
+ /root/repo/src/song/debug_hooks.h /root/repo/src/hashing/hashed_index.h \
+ /root/repo/src/core/bitvector.h \
  /root/repo/src/hashing/random_projection.h \
  /root/repo/src/song/search_core.h /root/repo/src/song/bounded_heap.h \
  /root/repo/src/song/batch_engine.h /root/repo/src/song/song_searcher.h \

@@ -221,7 +221,7 @@ bench/CMakeFiles/bench_micro_distance.dir/bench_micro_distance.cc.o: \
  /root/repo/src/graph/nsw_builder.h \
  /root/repo/src/graph/fixed_degree_graph.h \
  /root/repo/src/song/song_searcher.h /root/repo/src/song/search_core.h \
- /root/repo/src/song/bounded_heap.h /root/repo/src/song/search_options.h \
- /root/repo/src/song/visited_table.h /root/repo/src/song/bloom_filter.h \
- /root/repo/src/song/cuckoo_filter.h /root/repo/src/core/random.h \
- /root/repo/src/song/open_addressing_set.h
+ /root/repo/src/song/bounded_heap.h /root/repo/src/song/debug_hooks.h \
+ /root/repo/src/song/search_options.h /root/repo/src/song/visited_table.h \
+ /root/repo/src/song/bloom_filter.h /root/repo/src/song/cuckoo_filter.h \
+ /root/repo/src/core/random.h /root/repo/src/song/open_addressing_set.h

@@ -215,5 +215,5 @@ bench/CMakeFiles/bench_micro_structures.dir/bench_micro_structures.cc.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/song/bloom_filter.h /root/repo/src/core/types.h \
  /root/repo/src/song/bounded_heap.h /root/repo/src/core/logging.h \
- /root/repo/src/song/cuckoo_filter.h /root/repo/src/core/random.h \
- /root/repo/src/song/open_addressing_set.h
+ /root/repo/src/song/debug_hooks.h /root/repo/src/song/cuckoo_filter.h \
+ /root/repo/src/core/random.h /root/repo/src/song/open_addressing_set.h

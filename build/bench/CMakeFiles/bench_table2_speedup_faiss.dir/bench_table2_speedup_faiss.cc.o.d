@@ -267,7 +267,8 @@ bench/CMakeFiles/bench_table2_speedup_faiss.dir/bench_table2_speedup_faiss.cc.o:
  /root/repo/src/song/search_options.h /root/repo/src/song/visited_table.h \
  /root/repo/src/song/bloom_filter.h /root/repo/src/song/cuckoo_filter.h \
  /root/repo/src/core/random.h /root/repo/src/song/open_addressing_set.h \
- /root/repo/src/hashing/hashed_index.h /root/repo/src/core/bitvector.h \
+ /root/repo/src/song/debug_hooks.h /root/repo/src/hashing/hashed_index.h \
+ /root/repo/src/core/bitvector.h \
  /root/repo/src/hashing/random_projection.h \
  /root/repo/src/song/search_core.h /root/repo/src/song/bounded_heap.h \
  /root/repo/src/song/batch_engine.h /root/repo/src/song/song_searcher.h \

@@ -166,7 +166,7 @@ examples/CMakeFiles/example_mips_recommender.dir/mips_recommender.cpp.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/song/bounded_heap.h /root/repo/src/song/search_options.h \
- /root/repo/src/song/visited_table.h /root/repo/src/song/bloom_filter.h \
- /root/repo/src/song/cuckoo_filter.h \
+ /root/repo/src/song/bounded_heap.h /root/repo/src/song/debug_hooks.h \
+ /root/repo/src/song/search_options.h /root/repo/src/song/visited_table.h \
+ /root/repo/src/song/bloom_filter.h /root/repo/src/song/cuckoo_filter.h \
  /root/repo/src/song/open_addressing_set.h

@@ -159,4 +159,5 @@ src/CMakeFiles/song_lib.dir/gpusim/cost_model.cc.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/core/types.h \
  /root/repo/src/song/cuckoo_filter.h /root/repo/src/core/random.h \
- /root/repo/src/song/open_addressing_set.h
+ /root/repo/src/song/open_addressing_set.h \
+ /root/repo/src/song/debug_hooks.h

@@ -239,6 +239,7 @@ src/CMakeFiles/song_lib.dir/gpusim/sharded.cc.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/song/cuckoo_filter.h /root/repo/src/core/random.h \
  /root/repo/src/song/open_addressing_set.h \
+ /root/repo/src/song/debug_hooks.h \
  /root/repo/src/graph/fixed_degree_graph.h \
  /root/repo/src/graph/nsw_builder.h /root/repo/src/song/song_searcher.h \
  /root/repo/src/song/search_core.h /root/repo/src/song/bounded_heap.h \

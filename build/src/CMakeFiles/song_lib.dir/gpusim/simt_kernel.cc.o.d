@@ -135,8 +135,9 @@ src/CMakeFiles/song_lib.dir/gpusim/simt_kernel.cc.o: \
  /root/repo/src/graph/fixed_degree_graph.h \
  /root/repo/src/gpusim/gpu_spec.h /root/repo/src/gpusim/simt_warp.h \
  /usr/include/c++/12/array /root/repo/src/song/bounded_heap.h \
- /root/repo/src/song/search_options.h /root/repo/src/song/visited_table.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/song/debug_hooks.h /root/repo/src/song/search_options.h \
+ /root/repo/src/song/visited_table.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \

@@ -25,6 +25,12 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/graph/csr_and_nn_descent_test.cc" "tests/CMakeFiles/song_tests.dir/graph/csr_and_nn_descent_test.cc.o" "gcc" "tests/CMakeFiles/song_tests.dir/graph/csr_and_nn_descent_test.cc.o.d"
   "/root/repo/tests/graph/graph_test.cc" "tests/CMakeFiles/song_tests.dir/graph/graph_test.cc.o" "gcc" "tests/CMakeFiles/song_tests.dir/graph/graph_test.cc.o.d"
   "/root/repo/tests/graph/repair_test.cc" "tests/CMakeFiles/song_tests.dir/graph/repair_test.cc.o" "gcc" "tests/CMakeFiles/song_tests.dir/graph/repair_test.cc.o.d"
+  "/root/repo/tests/harness/fuzz.cc" "tests/CMakeFiles/song_tests.dir/harness/fuzz.cc.o" "gcc" "tests/CMakeFiles/song_tests.dir/harness/fuzz.cc.o.d"
+  "/root/repo/tests/harness/metamorphic_test.cc" "tests/CMakeFiles/song_tests.dir/harness/metamorphic_test.cc.o" "gcc" "tests/CMakeFiles/song_tests.dir/harness/metamorphic_test.cc.o.d"
+  "/root/repo/tests/harness/reference_search.cc" "tests/CMakeFiles/song_tests.dir/harness/reference_search.cc.o" "gcc" "tests/CMakeFiles/song_tests.dir/harness/reference_search.cc.o.d"
+  "/root/repo/tests/harness/search_differential_test.cc" "tests/CMakeFiles/song_tests.dir/harness/search_differential_test.cc.o" "gcc" "tests/CMakeFiles/song_tests.dir/harness/search_differential_test.cc.o.d"
+  "/root/repo/tests/harness/selftest_test.cc" "tests/CMakeFiles/song_tests.dir/harness/selftest_test.cc.o" "gcc" "tests/CMakeFiles/song_tests.dir/harness/selftest_test.cc.o.d"
+  "/root/repo/tests/harness/structure_fuzz_test.cc" "tests/CMakeFiles/song_tests.dir/harness/structure_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/song_tests.dir/harness/structure_fuzz_test.cc.o.d"
   "/root/repo/tests/hashing/hashing_test.cc" "tests/CMakeFiles/song_tests.dir/hashing/hashing_test.cc.o" "gcc" "tests/CMakeFiles/song_tests.dir/hashing/hashing_test.cc.o.d"
   "/root/repo/tests/integration/reproduction_smoke_test.cc" "tests/CMakeFiles/song_tests.dir/integration/reproduction_smoke_test.cc.o" "gcc" "tests/CMakeFiles/song_tests.dir/integration/reproduction_smoke_test.cc.o.d"
   "/root/repo/tests/song/batch_engine_extras_test.cc" "tests/CMakeFiles/song_tests.dir/song/batch_engine_extras_test.cc.o" "gcc" "tests/CMakeFiles/song_tests.dir/song/batch_engine_extras_test.cc.o.d"

@@ -160,7 +160,8 @@ tests/CMakeFiles/song_tests.dir/gpusim/cost_model_test.cc.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/core/types.h \
  /root/repo/src/song/cuckoo_filter.h /root/repo/src/core/random.h \
  /root/repo/src/song/open_addressing_set.h \
- /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/memory \
+ /root/repo/src/song/debug_hooks.h /root/miniconda/include/gtest/gtest.h \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/uses_allocator.h \

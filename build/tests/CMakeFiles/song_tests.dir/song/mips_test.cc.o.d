@@ -327,7 +327,7 @@ tests/CMakeFiles/song_tests.dir/song/mips_test.cc.o: \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/song/bounded_heap.h /root/repo/src/song/search_options.h \
- /root/repo/src/song/visited_table.h /root/repo/src/song/bloom_filter.h \
- /root/repo/src/song/cuckoo_filter.h \
+ /root/repo/src/song/bounded_heap.h /root/repo/src/song/debug_hooks.h \
+ /root/repo/src/song/search_options.h /root/repo/src/song/visited_table.h \
+ /root/repo/src/song/bloom_filter.h /root/repo/src/song/cuckoo_filter.h \
  /root/repo/src/song/open_addressing_set.h

@@ -302,10 +302,10 @@ tests/CMakeFiles/song_tests.dir/song/search_core_edge_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/song/song_searcher.h /root/repo/src/song/search_core.h \
- /root/repo/src/song/bounded_heap.h /root/repo/src/song/search_options.h \
- /root/repo/src/song/visited_table.h /root/repo/src/song/bloom_filter.h \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/song/bounded_heap.h /root/repo/src/song/debug_hooks.h \
+ /root/repo/src/song/search_options.h /root/repo/src/song/visited_table.h \
+ /root/repo/src/song/bloom_filter.h /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \

@@ -297,4 +297,4 @@ tests/CMakeFiles/song_tests.dir/song/smmh_exhaustive_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/song/bounded_heap.h /root/repo/src/core/logging.h \
- /root/repo/src/core/types.h
+ /root/repo/src/core/types.h /root/repo/src/song/debug_hooks.h

@@ -144,10 +144,10 @@ tests/CMakeFiles/song_tests.dir/song/song_searcher_test.cc.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/song/bounded_heap.h /root/repo/src/song/search_options.h \
- /root/repo/src/song/visited_table.h /root/repo/src/song/bloom_filter.h \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/song/bounded_heap.h /root/repo/src/song/debug_hooks.h \
+ /root/repo/src/song/search_options.h /root/repo/src/song/visited_table.h \
+ /root/repo/src/song/bloom_filter.h /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \

@@ -324,7 +324,7 @@ tests/CMakeFiles/song_tests.dir/song/visited_structures_test.cc.o: \
  /root/repo/src/song/bloom_filter.h /root/repo/src/core/types.h \
  /root/repo/src/song/cuckoo_filter.h /root/repo/src/core/random.h \
  /root/repo/src/song/open_addressing_set.h /root/repo/src/core/logging.h \
- /root/repo/src/song/visited_table.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/song/debug_hooks.h /root/repo/src/song/visited_table.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h

@@ -5,4 +5,6 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 add_test(song_tests "/root/repo/build/tests/song_tests")
-set_tests_properties(song_tests PROPERTIES  TIMEOUT "1800" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;11;add_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(song_tests PROPERTIES  TIMEOUT "1800" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;28;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(song_harness_shuffled "/root/repo/build/tests/song_tests" "--gtest_shuffle" "--gtest_random_seed=54321" "--gtest_filter=Harness*")
+set_tests_properties(song_harness_shuffled PROPERTIES  TIMEOUT "1800" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;34;add_test;/root/repo/tests/CMakeLists.txt;0;")
