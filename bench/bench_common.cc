@@ -8,6 +8,7 @@
 #include "baselines/flat_index.h"
 #include "core/recall.h"
 #include "core/timer.h"
+#include "obs/exporters.h"
 
 namespace song::bench {
 
@@ -128,14 +129,17 @@ Curve BenchContext::SweepHnsw(size_t k, const std::vector<size_t>& efs) {
   const Hnsw& index = hnsw();
   for (const size_t ef : efs) {
     std::vector<std::vector<idx_t>> ids(workload_.queries.num());
+    HnswSearchStats stats;
     Timer timer;
     for (size_t q = 0; q < workload_.queries.num(); ++q) {
-      const auto found =
-          index.Search(workload_.queries.Row(static_cast<idx_t>(q)), k, ef);
+      const auto found = index.Search(
+          workload_.queries.Row(static_cast<idx_t>(q)), k, ef, &stats);
       ids[q].reserve(found.size());
       for (const Neighbor& n : found) ids[q].push_back(n.id);
     }
     const double seconds = timer.ElapsedSeconds();
+    RecordHnswSearchStats(stats, workload_.queries.num(),
+                          &obs::MetricsRegistry::Global());
     CurvePoint pt;
     pt.param = ef;
     pt.recall = MeanRecallAtK(ids, workload_.ground_truth, k);
@@ -156,6 +160,7 @@ Curve BenchContext::SweepIvfpq(size_t k, const std::vector<size_t>& nprobes) {
     const auto results =
         index.BatchSearch(workload_.queries, k, nprobe, env_.threads, &stats);
     const double seconds = timer.ElapsedSeconds();
+    RecordIvfPqSearchStats(stats, &obs::MetricsRegistry::Global());
     const FaissGpuEstimate est = EstimateFaissGpu(
         stats, env_.gpu, workload_.data.dim(), index.pq_m(), k);
     CurvePoint pt;
@@ -189,6 +194,69 @@ double QpsAtRecall(const Curve& curve, double recall_target) {
     }
   }
   return -1.0;  // N/A
+}
+
+const char* BenchGitDescribe() {
+#ifdef SONG_GIT_DESCRIBE
+  return SONG_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+namespace {
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+void EmitBenchJson(const std::string& bench_name,
+                   const std::vector<Curve>& curves, const BenchEnv& env) {
+  const char* dir = std::getenv("SONG_BENCH_JSON_DIR");
+  if (dir == nullptr || dir[0] == '\0') return;
+  std::string out = "{\n  \"schema_version\": ";
+  out += std::to_string(kBenchJsonSchemaVersion);
+  out += ",\n  \"bench\": ";
+  AppendJsonString(&out, bench_name);
+  out += ",\n  \"git_describe\": ";
+  AppendJsonString(&out, BenchGitDescribe());
+  out += ",\n  \"gpu\": ";
+  AppendJsonString(&out, env.gpu.name);
+  out += ",\n  \"curves\": [";
+  char buf[256];
+  for (size_t c = 0; c < curves.size(); ++c) {
+    out += c == 0 ? "\n    {\"label\": " : ",\n    {\"label\": ";
+    AppendJsonString(&out, curves[c].label);
+    out += ", \"points\": [";
+    for (size_t i = 0; i < curves[c].points.size(); ++i) {
+      const CurvePoint& p = curves[c].points[i];
+      std::snprintf(buf, sizeof(buf),
+                    "%s\n      {\"param\": %zu, \"recall\": %.6f, "
+                    "\"qps\": %.3f, \"cpu_qps\": %.3f}",
+                    i == 0 ? "" : ",", p.param, p.recall, p.qps, p.cpu_qps);
+      out += buf;
+    }
+    out += "\n    ]}";
+  }
+  out += "\n  ]\n}\n";
+  const std::string path =
+      std::string(dir) + "/BENCH_" + bench_name + ".json";
+  if (!obs::WriteStringToFile(path, out)) {
+    std::fprintf(stderr, "[bench] failed to write %s\n", path.c_str());
+  } else {
+    std::printf("[bench] wrote %s\n", path.c_str());
+  }
 }
 
 void PrintHeader(const std::string& title) {

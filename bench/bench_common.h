@@ -84,6 +84,20 @@ class BenchContext {
 /// curve never reaches the target (the paper's "N/A").
 double QpsAtRecall(const Curve& curve, double recall_target);
 
+/// Version stamp of the bench JSON artifact layout.
+inline constexpr int kBenchJsonSchemaVersion = 1;
+
+/// The `git describe` string baked in at configure time ("unknown" when the
+/// build tree had no git metadata).
+const char* BenchGitDescribe();
+
+/// Writes `BENCH_<name>.json` into $SONG_BENCH_JSON_DIR; a no-op when the
+/// env var is unset. Every artifact is stamped with `schema_version`,
+/// `git_describe` and the bench GPU name, so archived results stay
+/// self-identifying across revisions.
+void EmitBenchJson(const std::string& bench_name,
+                   const std::vector<Curve>& curves, const BenchEnv& env);
+
 /// Pretty-printers.
 void PrintHeader(const std::string& title);
 void PrintCurve(const Curve& curve, const char* param_name);

@@ -14,6 +14,7 @@ using song::bench::BenchEnv;
 using song::bench::Curve;
 using song::bench::DefaultNprobes;
 using song::bench::DefaultQueueSizes;
+using song::bench::EmitBenchJson;
 using song::bench::PrintCurve;
 using song::bench::PrintHeader;
 
@@ -23,10 +24,15 @@ void RunPanel(BenchContext& ctx, size_t k) {
   PrintHeader("Fig 5: " + ctx.workload().name + " top-" +
               std::to_string(k));
   song::SongSearchOptions base = song::SongSearchOptions::HashTableSelDel();
-  PrintCurve(ctx.SweepSong(k, DefaultQueueSizes(k), base), "queue");
-  PrintCurve(ctx.SweepIvfpq(k, DefaultNprobes(ctx.ivfpq().nlist())),
-             "nprobe");
-  PrintCurve(ctx.SweepHnsw(k, DefaultQueueSizes(k)), "ef");
+  std::vector<Curve> curves;
+  curves.push_back(ctx.SweepSong(k, DefaultQueueSizes(k), base));
+  curves.push_back(ctx.SweepIvfpq(k, DefaultNprobes(ctx.ivfpq().nlist())));
+  curves.push_back(ctx.SweepHnsw(k, DefaultQueueSizes(k)));
+  PrintCurve(curves[0], "queue");
+  PrintCurve(curves[1], "nprobe");
+  PrintCurve(curves[2], "ef");
+  EmitBenchJson("fig5_" + ctx.workload().name + "_top" + std::to_string(k),
+                curves, ctx.env());
 }
 
 }  // namespace

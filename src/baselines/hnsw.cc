@@ -409,4 +409,14 @@ size_t Hnsw::MemoryBytes() const {
   return bytes;
 }
 
+void RecordHnswSearchStats(const HnswSearchStats& stats, size_t num_queries,
+                           obs::MetricsRegistry* registry,
+                           const std::string& prefix) {
+  if (registry == nullptr) return;
+  registry->GetCounter(prefix + ".queries").Increment(num_queries);
+  registry->GetCounter(prefix + ".hops").Increment(stats.hops);
+  registry->GetCounter(prefix + ".distance_computations")
+      .Increment(stats.distance_computations);
+}
+
 }  // namespace song

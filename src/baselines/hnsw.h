@@ -14,6 +14,7 @@
 #define SONG_BASELINES_HNSW_H_
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "core/dataset.h"
@@ -21,6 +22,7 @@
 #include "core/types.h"
 #include "graph/fixed_degree_graph.h"
 #include "graph/graph_search.h"
+#include "obs/metrics.h"
 
 namespace song {
 
@@ -34,7 +36,19 @@ struct HnswBuildOptions {
 struct HnswSearchStats {
   size_t distance_computations = 0;
   size_t hops = 0;
+
+  void Add(const HnswSearchStats& other) {
+    distance_computations += other.distance_computations;
+    hops += other.hops;
+  }
 };
+
+/// Records HNSW work counters under `<prefix>.*` — the same counter names
+/// the SONG pipeline emits (`.hops`, `.distance_computations`), so
+/// baseline-vs-SONG dashboards line up column for column.
+void RecordHnswSearchStats(const HnswSearchStats& stats, size_t num_queries,
+                           obs::MetricsRegistry* registry,
+                           const std::string& prefix = "hnsw.search");
 
 class Hnsw {
  public:

@@ -263,4 +263,18 @@ size_t IvfPqIndex::MemoryBytes() const {
   return bytes;
 }
 
+void RecordIvfPqSearchStats(const IvfPqSearchStats& stats,
+                            obs::MetricsRegistry* registry,
+                            const std::string& prefix) {
+  if (registry == nullptr) return;
+  registry->GetCounter(prefix + ".queries").Increment(stats.queries);
+  registry->GetCounter(prefix + ".lists_probed").Increment(stats.lists_probed);
+  registry->GetCounter(prefix + ".codes_scanned")
+      .Increment(stats.codes_scanned);
+  registry->GetCounter(prefix + ".table_entries")
+      .Increment(stats.table_entries);
+  registry->GetCounter(prefix + ".coarse_distances")
+      .Increment(stats.coarse_distances);
+}
+
 }  // namespace song

@@ -11,12 +11,14 @@
 #define SONG_BASELINES_IVFPQ_H_
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "baselines/pq.h"
 #include "core/dataset.h"
 #include "core/distance.h"
 #include "core/types.h"
+#include "obs/metrics.h"
 
 namespace song {
 
@@ -51,6 +53,12 @@ struct IvfPqSearchStats {
     coarse_distances += other.coarse_distances;
   }
 };
+
+/// Records IVFPQ probe/scan counters under `<prefix>.*` so the quantization
+/// baseline reports through the same registry as SONG and HNSW.
+void RecordIvfPqSearchStats(const IvfPqSearchStats& stats,
+                            obs::MetricsRegistry* registry,
+                            const std::string& prefix = "ivfpq.search");
 
 class IvfPqIndex {
  public:

@@ -1,13 +1,28 @@
 // Copyright 2026 The SONG-Repro Authors.
 //
-// Minimal check/assert macros. Hot paths use SONG_DCHECK (compiled out in
-// release); construction-time invariants use SONG_CHECK which always fires.
+// Check/assert macros plus leveled logging. Hot paths use SONG_DCHECK
+// (compiled out in release); construction-time invariants use SONG_CHECK
+// which always fires. Diagnostics go through SONG_LOG(INFO|WARN|ERROR) and
+// SONG_VLOG(n), both gated at runtime by the SONG_LOG_LEVEL environment
+// variable:
+//
+//   SONG_LOG_LEVEL=error   only SONG_LOG(ERROR)
+//   SONG_LOG_LEVEL=warn    WARN + ERROR (the default)
+//   SONG_LOG_LEVEL=info    INFO + WARN + ERROR
+//   SONG_LOG_LEVEL=<n>     integer n >= 1: everything above plus
+//                          SONG_VLOG(m) for m <= n ("debug" == 1)
+//
+// Messages are stream-style (SONG_LOG(WARN) << "x = " << x) and emitted to
+// stderr as a single write, so concurrent threads do not interleave lines.
 
 #ifndef SONG_CORE_LOGGING_H_
 #define SONG_CORE_LOGGING_H_
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
 
 namespace song::internal {
 
@@ -18,7 +33,114 @@ namespace song::internal {
   std::abort();
 }
 
+// Severities (ascending). Verbose messages sit below INFO.
+inline constexpr int kLogError = 2;
+inline constexpr int kLogWarn = 1;
+inline constexpr int kLogInfo = 0;
+
+/// Parses a SONG_LOG_LEVEL value into (min severity, vlog verbosity).
+/// Unknown strings fall back to the default (warn, verbosity 0).
+struct LogConfig {
+  int min_severity = kLogWarn;
+  int verbosity = 0;
+};
+
+inline LogConfig ParseLogLevel(const char* value) {
+  LogConfig config;
+  if (value == nullptr || *value == '\0') return config;
+  if (std::strcmp(value, "error") == 0 || std::strcmp(value, "ERROR") == 0) {
+    config.min_severity = kLogError;
+  } else if (std::strcmp(value, "warn") == 0 ||
+             std::strcmp(value, "WARN") == 0) {
+    config.min_severity = kLogWarn;
+  } else if (std::strcmp(value, "info") == 0 ||
+             std::strcmp(value, "INFO") == 0) {
+    config.min_severity = kLogInfo;
+  } else if (std::strcmp(value, "debug") == 0 ||
+             std::strcmp(value, "DEBUG") == 0) {
+    config.min_severity = kLogInfo;
+    config.verbosity = 1;
+  } else {
+    char* end = nullptr;
+    const long n = std::strtol(value, &end, 10);
+    if (end != value && *end == '\0' && n >= 1) {
+      config.min_severity = kLogInfo;
+      config.verbosity = static_cast<int>(n);
+    }
+  }
+  return config;
+}
+
+inline const LogConfig& GetLogConfig() {
+  static const LogConfig config = ParseLogLevel(std::getenv("SONG_LOG_LEVEL"));
+  return config;
+}
+
+inline bool LogEnabled(int severity) {
+  return severity >= GetLogConfig().min_severity;
+}
+
+inline bool VlogEnabled(int level) {
+  return level <= GetLogConfig().verbosity;
+}
+
+/// Collects one message and writes it to stderr in the destructor.
+class LogMessage {
+ public:
+  LogMessage(const char* file, int line, int severity) {
+    const char* base = std::strrchr(file, '/');
+    stream_ << '[' << SeverityName(severity) << "] "
+            << (base != nullptr ? base + 1 : file) << ':' << line << ": ";
+  }
+  ~LogMessage() {
+    stream_ << '\n';
+    const std::string text = stream_.str();
+    std::fwrite(text.data(), 1, text.size(), stderr);
+  }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  static const char* SeverityName(int severity) {
+    switch (severity) {
+      case kLogError:
+        return "SONG ERROR";
+      case kLogWarn:
+        return "SONG WARN";
+      default:
+        return "SONG INFO";
+    }
+  }
+
+  std::ostringstream stream_;
+};
+
 }  // namespace song::internal
+
+// SONG_LOG(INFO) << "..." — the if/else keeps the streaming expression
+// unevaluated when the level is disabled.
+#define SONG_LOG_SEVERITY_INFO ::song::internal::kLogInfo
+#define SONG_LOG_SEVERITY_WARN ::song::internal::kLogWarn
+#define SONG_LOG_SEVERITY_ERROR ::song::internal::kLogError
+
+#define SONG_LOG(severity)                                               \
+  if (!::song::internal::LogEnabled(SONG_LOG_SEVERITY_##severity))       \
+    ;                                                                    \
+  else                                                                   \
+    ::song::internal::LogMessage(__FILE__, __LINE__,                     \
+                                 SONG_LOG_SEVERITY_##severity)           \
+        .stream()
+
+#define SONG_VLOG(level)                                              \
+  if (!::song::internal::VlogEnabled(level))                          \
+    ;                                                                 \
+  else                                                                \
+    ::song::internal::LogMessage(__FILE__, __LINE__,                  \
+                                 ::song::internal::kLogInfo)          \
+        .stream()
 
 #define SONG_CHECK(cond)                                                  \
   do {                                                                    \

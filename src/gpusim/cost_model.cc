@@ -29,6 +29,74 @@ double CostModel::SharedBytesPerQuery(const WorkloadShape& shape,
   return bytes;
 }
 
+StageUnitCosts CostModel::UnitCosts(const WorkloadShape& shape,
+                                    bool visited_in_shared) const {
+  const size_t mq = std::max<size_t>(1, shape.multi_query);
+  const double heap_cost =
+      (Log2Ceil(static_cast<double>(shape.queue_size) + 1.0) + 1.0) *
+      spec_.shared_latency_cycles;
+  const double visited_latency = visited_in_shared
+                                     ? spec_.shared_latency_cycles
+                                     : spec_.global_latency_cycles;
+  // Structure-dependent probe widths: Bloom touches num_hashes words,
+  // Cuckoo two buckets, open addressing ~1 warp-parallel probe.
+  double probe_factor = 1.0;
+  if (shape.structure == VisitedStructure::kBloomFilter) probe_factor = 7.0;
+  if (shape.structure == VisitedStructure::kCuckooFilter) probe_factor = 2.0;
+
+  StageUnitCosts c;
+  // Stage 1: dependent graph-row fetches (divergent across the mq queries of
+  // a warp, so they serialize), queue pops, visited tests during gather
+  // (warp-parallel probing hides ~4x).
+  c.locate_per_row = spec_.global_latency_cycles * static_cast<double>(mq);
+  c.locate_per_pop = heap_cost;
+  c.locate_per_test = probe_factor * visited_latency / 4.0;
+
+  // Stage 2: warp-reduction distances: each candidate streams point_bytes
+  // over 32/mq lanes (1 cycle per 4B lane-load once the pipeline is primed),
+  // one reduction (log2(32) shuffle steps) and one partially hidden latency
+  // exposure for the first line of the vector.
+  const double lanes = 32.0 / static_cast<double>(mq);
+  c.distance_per_candidate = static_cast<double>(shape.point_bytes) / lanes +
+                             5.0 + spec_.global_latency_cycles / 8.0;
+
+  // Stage 3: single-thread heap/hash maintenance on shared (or spilled)
+  // structures, plus dist-array reads from the staging buffer.
+  c.maintain_per_heap_push = heap_cost;
+  c.maintain_per_topk_op = heap_cost;
+  c.maintain_per_visited_op = probe_factor * visited_latency;
+  c.maintain_per_candidate = spec_.shared_latency_cycles / 2.0;
+  return c;
+}
+
+TraceStageCycles CostModel::PriceIteration(const obs::TraceIterationRow& row,
+                                           const StageUnitCosts& costs) const {
+  TraceStageCycles cycles;
+  cycles.locate = row.rows_loaded * costs.locate_per_row +
+                  row.q_pops * costs.locate_per_pop +
+                  row.visited_tests * costs.locate_per_test;
+  cycles.distance = row.dist_comps * costs.distance_per_candidate;
+  cycles.maintain =
+      row.heap_pushes * costs.maintain_per_heap_push +
+      row.topk_ops * costs.maintain_per_topk_op +
+      (row.visited_inserts + row.visited_deletes) *
+          costs.maintain_per_visited_op +
+      row.dist_comps * costs.maintain_per_candidate;
+  return cycles;
+}
+
+TraceStageCycles CostModel::PriceTrace(const obs::SearchTrace& trace,
+                                       const StageUnitCosts& costs) const {
+  TraceStageCycles total;
+  for (const obs::TraceIterationRow& row : trace.rows) {
+    const TraceStageCycles it = PriceIteration(row, costs);
+    total.locate += it.locate;
+    total.distance += it.distance;
+    total.maintain += it.maintain;
+  }
+  return total;
+}
+
 KernelBreakdown CostModel::Estimate(const SearchStats& totals,
                                     const WorkloadShape& shape) const {
   KernelBreakdown out;
@@ -68,44 +136,18 @@ KernelBreakdown CostModel::Estimate(const SearchStats& totals,
   const double inserts = static_cast<double>(totals.visited_insertions) / nq;
   const double deletes = static_cast<double>(totals.visited_deletions) / nq;
 
-  const double heap_cost =
-      (Log2Ceil(static_cast<double>(shape.queue_size) + 1.0) + 1.0) *
-      spec_.shared_latency_cycles;
-  const double visited_latency = visited_fits ? spec_.shared_latency_cycles
-                                              : spec_.global_latency_cycles;
-  // Structure-dependent probe widths: Bloom touches num_hashes words,
-  // Cuckoo two buckets, open addressing ~1 warp-parallel probe.
-  double probe_factor = 1.0;
-  if (shape.structure == VisitedStructure::kBloomFilter) probe_factor = 7.0;
-  if (shape.structure == VisitedStructure::kCuckooFilter) probe_factor = 2.0;
-
-  // ---- Stage chains (cycles per query). ----
-  // Stage 1: dependent graph-row fetches (divergent across the mq queries of
-  // a warp, so they serialize), queue pops, visited tests during gather
-  // (warp-parallel probing hides ~4x).
-  const double locate_cycles =
-      rows * spec_.global_latency_cycles * static_cast<double>(mq) +
-      pops * heap_cost + tests * probe_factor * visited_latency / 4.0;
-
-  // Stage 2: warp-reduction distances: each candidate streams point_bytes
-  // over 32/mq lanes (1 cycle per 4B lane-load once the pipeline is primed),
-  // one reduction (log2(32) shuffle steps) and one latency exposure per
-  // candidate batch row.
-  const double lanes = 32.0 / static_cast<double>(mq);
-  const double bytes_per_cand = static_cast<double>(shape.point_bytes);
-  // Per candidate: one 4-byte lane load every cycle group (~4 cycles issue
-  // + dependency per load), the log2(32) shuffle reduction, and a partially
-  // hidden latency exposure for the first line of the vector.
-  const double distance_cycles =
-      cands * (bytes_per_cand / lanes + 5.0 +
-               spec_.global_latency_cycles / 8.0);
-
-  // Stage 3: single-thread heap/hash maintenance on shared (or spilled)
-  // structures.
+  // ---- Stage chains (cycles per query), priced through the shared unit
+  // table (obs traces use the same table, keeping span sums consistent). ----
+  const StageUnitCosts unit = UnitCosts(shape, visited_fits);
+  const double locate_cycles = rows * unit.locate_per_row +
+                               pops * unit.locate_per_pop +
+                               tests * unit.locate_per_test;
+  const double distance_cycles = cands * unit.distance_per_candidate;
   const double maintain_cycles =
-      (pushes + topk_ops) * heap_cost +
-      (inserts + deletes) * probe_factor * visited_latency +
-      cands * spec_.shared_latency_cycles / 2.0;  // dist-array reads
+      pushes * unit.maintain_per_heap_push +
+      topk_ops * unit.maintain_per_topk_op +
+      (inserts + deletes) * unit.maintain_per_visited_op +
+      cands * unit.maintain_per_candidate;
 
   // Per-warp chain: stage-1 serialization and stage-2 lane narrowing are
   // already baked into the per-query cycles above; stage-3 runs SIMT-lockstep
@@ -165,6 +207,35 @@ KernelBreakdown CostModel::Estimate(const SearchStats& totals,
   out.total_seconds = out.kernel_seconds + out.htod_seconds +
                       out.dtoh_seconds;
   return out;
+}
+
+void RecordKernelBreakdown(const KernelBreakdown& breakdown,
+                           size_t num_queries, const GpuSpec& spec,
+                           obs::MetricsRegistry* registry,
+                           const std::string& prefix) {
+  if (registry == nullptr) return;
+  registry->GetCounter(prefix + ".estimates").Increment();
+  registry->GetGauge(prefix + ".locate_seconds").Set(breakdown.locate_seconds);
+  registry->GetGauge(prefix + ".distance_seconds")
+      .Set(breakdown.distance_seconds);
+  registry->GetGauge(prefix + ".maintain_seconds")
+      .Set(breakdown.maintain_seconds);
+  registry->GetGauge(prefix + ".kernel_seconds").Set(breakdown.kernel_seconds);
+  registry->GetGauge(prefix + ".htod_seconds").Set(breakdown.htod_seconds);
+  registry->GetGauge(prefix + ".dtoh_seconds").Set(breakdown.dtoh_seconds);
+  registry->GetGauge(prefix + ".total_seconds").Set(breakdown.total_seconds);
+  registry->GetGauge(prefix + ".locate_pct").Set(breakdown.LocatePct());
+  registry->GetGauge(prefix + ".distance_pct").Set(breakdown.DistancePct());
+  registry->GetGauge(prefix + ".maintain_pct").Set(breakdown.MaintainPct());
+  registry->GetGauge(prefix + ".resident_warps").Set(breakdown.resident_warps);
+  registry->GetGauge(prefix + ".visited_in_shared")
+      .Set(breakdown.visited_in_shared ? 1.0 : 0.0);
+  registry->GetGauge(prefix + ".shared_bytes_per_warp")
+      .Set(breakdown.shared_bytes_per_warp);
+  registry->GetGauge(prefix + ".qps").Set(breakdown.Qps(num_queries));
+  // The spec name rides along as a labeled counter so dashboards can tell
+  // V100 runs from P40/TITAN X runs.
+  registry->GetCounter(prefix + ".estimates." + spec.name).Increment();
 }
 
 }  // namespace song

@@ -26,8 +26,11 @@
 #define SONG_GPUSIM_COST_MODEL_H_
 
 #include <cstddef>
+#include <string>
 
 #include "gpusim/gpu_spec.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "song/search_options.h"
 
 namespace song {
@@ -93,6 +96,34 @@ struct KernelBreakdown {
   }
 };
 
+/// Warp cycles charged per counted unit of work, per stage. Estimate() and
+/// the per-iteration trace pricing both price through this table, so a
+/// traced query's stage spans sum to exactly the chain time the analytic
+/// model attributes to it (the Chrome-trace acceptance check).
+struct StageUnitCosts {
+  // Stage 1 — candidate locating.
+  double locate_per_row = 0.0;       ///< dependent graph-row fetch
+  double locate_per_pop = 0.0;       ///< queue pop (heap levels)
+  double locate_per_test = 0.0;      ///< visited probe during gather
+  // Stage 2 — bulk distance.
+  double distance_per_candidate = 0.0;
+  // Stage 3 — maintenance.
+  double maintain_per_heap_push = 0.0;  ///< q push or eviction
+  double maintain_per_topk_op = 0.0;
+  double maintain_per_visited_op = 0.0;  ///< insert or delete
+  double maintain_per_candidate = 0.0;   ///< dist-array read from staging
+};
+
+/// Chain cycles of one traced query, split by stage (priced via
+/// CostModel::PriceTrace).
+struct TraceStageCycles {
+  double locate = 0.0;
+  double distance = 0.0;
+  double maintain = 0.0;
+
+  double Total() const { return locate + distance + maintain; }
+};
+
 class CostModel {
  public:
   explicit CostModel(const GpuSpec& spec) : spec_(spec) {}
@@ -107,11 +138,37 @@ class CostModel {
                              size_t visited_bytes,
                              bool include_visited) const;
 
+  /// The per-unit cycle table Estimate() prices chains with.
+  /// `visited_in_shared` mirrors KernelBreakdown::visited_in_shared.
+  StageUnitCosts UnitCosts(const WorkloadShape& shape,
+                           bool visited_in_shared) const;
+
+  /// Prices one iteration row through UnitCosts.
+  TraceStageCycles PriceIteration(const obs::TraceIterationRow& row,
+                                  const StageUnitCosts& costs) const;
+
+  /// Prices a whole traced query: the sum over its iteration rows.
+  TraceStageCycles PriceTrace(const obs::SearchTrace& trace,
+                              const StageUnitCosts& costs) const;
+
+  /// Seconds per warp cycle on this spec.
+  double SecondsPerCycle() const { return 1.0 / (spec_.clock_ghz * 1e9); }
+
   const GpuSpec& spec() const { return spec_; }
 
  private:
   GpuSpec spec_;
 };
+
+/// Surfaces a simulated execution profile into `registry` under
+/// `<prefix>.*` gauges (seconds per stage, occupancy, QPS), replacing the
+/// old pattern of keeping KernelBreakdown result-struct-only. `prefix`
+/// is typically "song.gpu"; the GPU name lands in `<prefix>.spec_name`-less
+/// form via the paired counter `<prefix>.estimates`.
+void RecordKernelBreakdown(const KernelBreakdown& breakdown,
+                           size_t num_queries, const GpuSpec& spec,
+                           obs::MetricsRegistry* registry,
+                           const std::string& prefix = "song.gpu");
 
 }  // namespace song
 

@@ -220,4 +220,23 @@ SimtKernelResult SimtSongKernel::Search(
   return result;
 }
 
+void RecordSimtKernelResult(const SimtKernelResult& result,
+                            obs::MetricsRegistry* registry,
+                            const std::string& prefix) {
+  if (registry == nullptr) return;
+  registry->GetCounter(prefix + ".searches").Increment();
+  registry->GetCounter(prefix + ".iterations").Increment(result.iterations);
+  registry->GetCounter(prefix + ".distance_computations")
+      .Increment(result.distance_computations);
+  registry->GetCounter(prefix + ".global_bytes").Increment(result.global_bytes);
+  registry->GetHistogram(prefix + ".locate_cycles")
+      .Observe(result.locate_cycles);
+  registry->GetHistogram(prefix + ".distance_cycles")
+      .Observe(result.distance_cycles);
+  registry->GetHistogram(prefix + ".maintain_cycles")
+      .Observe(result.maintain_cycles);
+  registry->GetHistogram(prefix + ".total_cycles")
+      .Observe(result.TotalCycles());
+}
+
 }  // namespace song

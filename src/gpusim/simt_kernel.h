@@ -14,6 +14,7 @@
 #ifndef SONG_GPUSIM_SIMT_KERNEL_H_
 #define SONG_GPUSIM_SIMT_KERNEL_H_
 
+#include <string>
 #include <vector>
 
 #include "core/dataset.h"
@@ -21,6 +22,7 @@
 #include "graph/fixed_degree_graph.h"
 #include "gpusim/gpu_spec.h"
 #include "gpusim/simt_warp.h"
+#include "obs/metrics.h"
 #include "song/bounded_heap.h"
 #include "song/search_options.h"
 
@@ -41,6 +43,14 @@ struct SimtKernelResult {
     return locate_cycles + distance_cycles + maintain_cycles;
   }
 };
+
+/// Accumulates an executed-kernel cycle ledger into `registry` under
+/// `<prefix>.*` counters/histograms (stage cycles, global bytes, iteration
+/// counts), so lane-level runs report through the same registry as the
+/// analytic model instead of staying result-struct-only.
+void RecordSimtKernelResult(const SimtKernelResult& result,
+                            obs::MetricsRegistry* registry,
+                            const std::string& prefix = "song.simt");
 
 class SimtSongKernel {
  public:

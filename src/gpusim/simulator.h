@@ -26,19 +26,23 @@ namespace song {
 struct SimulatedRun {
   BatchResult batch;       ///< native execution: results + counters + CPU wall
   KernelBreakdown gpu;     ///< simulated GPU profile for `spec`
+  WorkloadShape shape;     ///< the shape `gpu` was priced with
   double SimQps() const { return gpu.Qps(batch.num_queries); }
 };
 
 /// Executes `queries` through the SONG pipeline and prices the collected
-/// counters on `spec`.
+/// counters on `spec`. `telemetry` (optional) enables sampled per-query
+/// traces and metric recording; the simulated profile is surfaced into the
+/// telemetry registry as `song.gpu.*`.
 inline SimulatedRun SimulateBatch(const SongSearcher& searcher,
                                   const Dataset& queries, size_t k,
                                   const SongSearchOptions& options,
                                   const GpuSpec& spec,
-                                  size_t num_threads = 0) {
+                                  size_t num_threads = 0,
+                                  const BatchTelemetry& telemetry = {}) {
   SimulatedRun run;
   BatchEngine engine(&searcher, num_threads);
-  run.batch = engine.Search(queries, k, options);
+  run.batch = engine.Search(queries, k, options, telemetry);
 
   WorkloadShape shape;
   shape.num_queries = queries.num();
@@ -50,9 +54,12 @@ inline SimulatedRun SimulateBatch(const SongSearcher& searcher,
   shape.multi_query = options.multi_query;
   shape.multi_step = options.multi_step_probe;
   shape.structure = options.structure;
+  run.shape = shape;
 
   CostModel model(spec);
   run.gpu = model.Estimate(run.batch.stats, shape);
+  RecordKernelBreakdown(run.gpu, run.batch.num_queries, spec,
+                        telemetry.registry);
   return run;
 }
 

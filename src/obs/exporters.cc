@@ -1,0 +1,342 @@
+#include "obs/exporters.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cinttypes>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+#include "core/logging.h"
+
+namespace song::obs {
+
+namespace {
+
+void Appendf(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, std::min<size_t>(n, sizeof(buf) - 1));
+}
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.
+std::string PromName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':') {
+      out.push_back(c);
+    } else {
+      out.push_back('_');
+    }
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          Appendf(&out, "\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// JSON-safe double: finite values via %.9g, everything else as 0.
+void AppendJsonNumber(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    out->append("0");
+    return;
+  }
+  Appendf(out, "%.9g", v);
+}
+
+struct SpanWriter {
+  std::string* out;
+  bool first = true;
+
+  /// Emits one complete ("X") event; ts/dur in microseconds.
+  void Span(const char* name, const char* cat, int pid, uint64_t tid,
+            double ts_us, double dur_us, const std::string& args_json) {
+    Comma();
+    Appendf(out, "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":%d,"
+                 "\"tid\":%" PRIu64 ",\"ts\":",
+            name, cat, pid, tid);
+    AppendJsonNumber(out, ts_us);
+    out->append(",\"dur\":");
+    AppendJsonNumber(out, dur_us);
+    if (!args_json.empty()) {
+      out->append(",\"args\":");
+      out->append(args_json);
+    }
+    out->append("}");
+  }
+
+  void Metadata(const char* name, int pid, uint64_t tid,
+                const std::string& value) {
+    Comma();
+    Appendf(out, "{\"name\":\"%s\",\"ph\":\"M\",\"pid\":%d,\"tid\":%" PRIu64
+                 ",\"args\":{\"name\":\"%s\"}}",
+            name, pid, tid, JsonEscape(value).c_str());
+  }
+
+  void Comma() {
+    if (!first) out->append(",\n");
+    first = false;
+  }
+};
+
+}  // namespace
+
+std::string MetricsToPrometheusText(const MetricsRegistry& registry) {
+  std::string out;
+  for (const auto& [name, counter] : registry.Counters()) {
+    const std::string prom = PromName(name);
+    Appendf(&out, "# TYPE %s counter\n", prom.c_str());
+    Appendf(&out, "%s %" PRIu64 "\n", prom.c_str(), counter->Value());
+  }
+  for (const auto& [name, gauge] : registry.Gauges()) {
+    const std::string prom = PromName(name);
+    Appendf(&out, "# TYPE %s gauge\n", prom.c_str());
+    Appendf(&out, "%s %.9g\n", prom.c_str(), gauge->Value());
+  }
+  for (const auto& [name, histogram] : registry.Histograms()) {
+    const std::string prom = PromName(name);
+    Appendf(&out, "# TYPE %s summary\n", prom.c_str());
+    for (const double q : {0.5, 0.95, 0.99}) {
+      Appendf(&out, "%s{quantile=\"%.2g\"} %.9g\n", prom.c_str(), q,
+              histogram->Percentile(q * 100.0));
+    }
+    Appendf(&out, "%s_sum %.9g\n", prom.c_str(), histogram->Sum());
+    Appendf(&out, "%s_count %" PRIu64 "\n", prom.c_str(), histogram->Count());
+  }
+  return out;
+}
+
+std::string MetricsToJson(const MetricsRegistry& registry) {
+  std::string out = "{\n";
+  Appendf(&out, "  \"schema_version\": %d,\n", kTelemetrySchemaVersion);
+
+  out += "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : registry.Counters()) {
+    if (!first) out += ",";
+    first = false;
+    Appendf(&out, "\n    \"%s\": %" PRIu64, JsonEscape(name).c_str(),
+            counter->Value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : registry.Gauges()) {
+    if (!first) out += ",";
+    first = false;
+    Appendf(&out, "\n    \"%s\": ", JsonEscape(name).c_str());
+    AppendJsonNumber(&out, gauge->Value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : registry.Histograms()) {
+    if (!first) out += ",";
+    first = false;
+    Appendf(&out, "\n    \"%s\": {\"count\": %" PRIu64 ", \"sum\": ",
+            JsonEscape(name).c_str(), histogram->Count());
+    AppendJsonNumber(&out, histogram->Sum());
+    out += ", \"min\": ";
+    AppendJsonNumber(&out, histogram->ObservedMin());
+    out += ", \"max\": ";
+    AppendJsonNumber(&out, histogram->ObservedMax());
+    out += ", \"p50\": ";
+    AppendJsonNumber(&out, histogram->Percentile(50.0));
+    out += ", \"p95\": ";
+    AppendJsonNumber(&out, histogram->Percentile(95.0));
+    out += ", \"p99\": ";
+    AppendJsonNumber(&out, histogram->Percentile(99.0));
+    out += "}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string TracesToJson(const std::vector<SearchTrace>& traces) {
+  std::string out = "{\n";
+  Appendf(&out, "  \"schema_version\": %d,\n  \"traces\": [",
+          kTelemetrySchemaVersion);
+  bool first_trace = true;
+  for (const SearchTrace& t : traces) {
+    if (!first_trace) out += ",";
+    first_trace = false;
+    Appendf(&out,
+            "\n    {\"query_id\": %" PRIu64
+            ", \"k\": %u, \"queue_size\": %u, \"config\": \"%s\", "
+            "\"wall_micros\": ",
+            t.query_id, t.k, t.queue_size, JsonEscape(t.config).c_str());
+    AppendJsonNumber(&out, t.wall_micros);
+    out += ", \"rows\": [";
+    bool first_row = true;
+    for (const TraceIterationRow& r : t.rows) {
+      if (!first_row) out += ",";
+      first_row = false;
+      Appendf(&out,
+              "\n      {\"iteration\": %u, \"frontier\": %u, \"topk\": %u, "
+              "\"visited\": %u, \"rows_loaded\": %u, \"q_pops\": %u, "
+              "\"visited_tests\": %u, \"candidates\": %u, \"dist_comps\": %u, "
+              "\"heap_pushes\": %u, \"topk_ops\": %u, \"visited_inserts\": "
+              "%u, \"visited_deletes\": %u}",
+              r.iteration, r.frontier_size, r.topk_size, r.visited_size,
+              r.rows_loaded, r.q_pops, r.visited_tests, r.candidates,
+              r.dist_comps, r.heap_pushes, r.topk_ops, r.visited_inserts,
+              r.visited_deletes);
+    }
+    out += first_row ? "]}" : "\n    ]}";
+  }
+  out += first_trace ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+std::string TracesToChromeJson(const std::vector<SearchTrace>& traces,
+                               const ChromeTraceContext& context) {
+  SONG_CHECK(context.model != nullptr);
+  const CostModel& model = *context.model;
+  const KernelBreakdown& b = context.breakdown;
+  const StageUnitCosts costs =
+      model.UnitCosts(context.shape, b.visited_in_shared);
+  const double us_per_cycle = model.SecondsPerCycle() * 1e6;
+
+  std::string events;
+  SpanWriter w{&events};
+
+  // ---- Process 0: the cost model's batch kernel timeline. ----
+  constexpr int kGpuPid = 0;
+  w.Metadata("process_name", kGpuPid, 0,
+             "GPU cost model (" + model.spec().name + ", batch)");
+  w.Metadata("thread_name", kGpuPid, 0, "kernel timeline");
+  double cursor = 0.0;
+  w.Span("HtoD queries", "pcie", kGpuPid, 0, cursor, b.htod_seconds * 1e6,
+         "");
+  cursor += b.htod_seconds * 1e6;
+  w.Span("kernel", "kernel", kGpuPid, 0, cursor, b.kernel_seconds * 1e6, "");
+  // Stage attribution nested inside the kernel span (paper Fig 10).
+  const char* stage_names[] = {"locate", "distance", "maintain"};
+  const double stage_seconds[] = {b.locate_seconds, b.distance_seconds,
+                                  b.maintain_seconds};
+  double stage_cursor = cursor;
+  for (int i = 0; i < 3; ++i) {
+    w.Span(stage_names[i], "stage", kGpuPid, 0, stage_cursor,
+           stage_seconds[i] * 1e6, "");
+    stage_cursor += stage_seconds[i] * 1e6;
+  }
+  cursor += b.kernel_seconds * 1e6;
+  w.Span("DtoH results", "pcie", kGpuPid, 0, cursor, b.dtoh_seconds * 1e6,
+         "");
+
+  // ---- Process 1: one thread per sampled query. ----
+  constexpr int kQueryPid = 1;
+  w.Metadata("process_name", kQueryPid, 0, "sampled query chains");
+  for (const SearchTrace& t : traces) {
+    std::string thread_name = "query " + std::to_string(t.query_id);
+    w.Metadata("thread_name", kQueryPid, t.query_id, thread_name);
+
+    const TraceStageCycles total = model.PriceTrace(t, costs);
+    std::string query_args;
+    Appendf(&query_args,
+            "{\"config\":\"%s\",\"k\":%u,\"queue_size\":%u,\"hops\":%zu,"
+            "\"distance_computations\":%zu,\"cpu_wall_us\":",
+            JsonEscape(t.config).c_str(), t.k, t.queue_size, t.Hops(),
+            t.DistanceComputations());
+    AppendJsonNumber(&query_args, t.wall_micros);
+    query_args += "}";
+    w.Span(thread_name.c_str(), "query", kQueryPid, t.query_id, 0.0,
+           total.Total() * us_per_cycle, query_args);
+
+    double ts = 0.0;
+    for (const TraceIterationRow& r : t.rows) {
+      const TraceStageCycles it = model.PriceIteration(r, costs);
+      std::string args;
+      Appendf(&args,
+              "{\"iteration\":%u,\"frontier\":%u,\"topk\":%u,\"visited\":%u,"
+              "\"candidates\":%u}",
+              r.iteration, r.frontier_size, r.topk_size, r.visited_size,
+              r.candidates);
+      const double stage_us[] = {it.locate * us_per_cycle,
+                                 it.distance * us_per_cycle,
+                                 it.maintain * us_per_cycle};
+      for (int i = 0; i < 3; ++i) {
+        w.Span(stage_names[i], "stage", kQueryPid, t.query_id, ts,
+               stage_us[i], args);
+        ts += stage_us[i];
+      }
+    }
+  }
+
+  std::string out = "{\n\"traceEvents\": [\n";
+  out += events;
+  out += "\n],\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {";
+  Appendf(&out, "\"schema_version\": %d, \"gpu\": \"%s\", ",
+          kTelemetrySchemaVersion, JsonEscape(model.spec().name).c_str());
+  Appendf(&out, "\"num_queries\": %zu, \"num_traces\": %zu, ",
+          context.num_queries, traces.size());
+  out += "\"kernel_seconds\": ";
+  AppendJsonNumber(&out, b.kernel_seconds);
+  out += ", \"locate_seconds\": ";
+  AppendJsonNumber(&out, b.locate_seconds);
+  out += ", \"distance_seconds\": ";
+  AppendJsonNumber(&out, b.distance_seconds);
+  out += ", \"maintain_seconds\": ";
+  AppendJsonNumber(&out, b.maintain_seconds);
+  out += ", \"htod_seconds\": ";
+  AppendJsonNumber(&out, b.htod_seconds);
+  out += ", \"dtoh_seconds\": ";
+  AppendJsonNumber(&out, b.dtoh_seconds);
+  out += "}\n}\n";
+  return out;
+}
+
+bool WriteStringToFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    SONG_LOG(WARN) << "telemetry export: cannot open " << path
+                   << " for writing: " << std::strerror(errno);
+    return false;
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != content.size() || !close_ok) {
+    SONG_LOG(WARN) << "telemetry export: short write to " << path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace song::obs

@@ -1,0 +1,58 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// Render-side of the observability layer: serializes a MetricsRegistry to
+// Prometheus text / structured JSON, and sampled SearchTraces to the Chrome
+// trace_event format (load the file in chrome://tracing or
+// https://ui.perfetto.dev). Chrome spans are priced through the GPU cost
+// model's StageUnitCosts, so each traced query's three stage spans sum to
+// the chain time the analytic model reports for it.
+
+#ifndef SONG_OBS_EXPORTERS_H_
+#define SONG_OBS_EXPORTERS_H_
+
+#include <string>
+#include <vector>
+
+#include "gpusim/cost_model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace song::obs {
+
+inline constexpr int kTelemetrySchemaVersion = 1;
+
+/// Prometheus exposition text. Dotted metric names become underscored
+/// (`song.batch.qps` -> `song_batch_qps`); histograms export as summaries
+/// with p50/p95/p99 quantiles plus `_sum` and `_count`.
+std::string MetricsToPrometheusText(const MetricsRegistry& registry);
+
+/// Structured JSON: {"schema_version", "counters", "gauges", "histograms"}.
+/// Histogram entries carry count/sum/min/max/p50/p95/p99.
+std::string MetricsToJson(const MetricsRegistry& registry);
+
+/// Raw per-iteration trace rows as JSON (debugging / offline analysis).
+std::string TracesToJson(const std::vector<SearchTrace>& traces);
+
+/// Everything the Chrome exporter needs to turn counter rows into spans.
+struct ChromeTraceContext {
+  const CostModel* model = nullptr;  ///< required
+  WorkloadShape shape;
+  KernelBreakdown breakdown;  ///< batch-level profile (GPU timeline track)
+  size_t num_queries = 0;     ///< batch size behind `breakdown`
+};
+
+/// Chrome trace_event JSON: one process for the cost model's batch kernel
+/// timeline (HtoD / kernel stages / DtoH), one process with a thread per
+/// sampled query whose per-iteration locate/distance/maintain spans are
+/// priced via StageUnitCosts. Top-level `otherData` carries the schema
+/// version, GPU name and the breakdown seconds for validators.
+std::string TracesToChromeJson(const std::vector<SearchTrace>& traces,
+                               const ChromeTraceContext& context);
+
+/// Writes `content` to `path`; returns false (and logs through
+/// SONG_LOG(WARN)) on failure.
+bool WriteStringToFile(const std::string& path, const std::string& content);
+
+}  // namespace song::obs
+
+#endif  // SONG_OBS_EXPORTERS_H_

@@ -1,0 +1,157 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace song::obs {
+
+Histogram::Histogram()
+    : buckets_(new std::atomic<uint64_t>[kNumBuckets]) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+int Histogram::BucketIndex(double value) {
+  if (!(value > kMinValue)) return 0;  // also catches NaN
+  const int idx = static_cast<int>(
+      std::log2(value / kMinValue) * kSubBucketsPerOctave);
+  return std::clamp(idx, 0, kNumBuckets - 1);
+}
+
+double Histogram::BucketUpperBound(int index) {
+  return kMinValue *
+         std::exp2(static_cast<double>(index + 1) / kSubBucketsPerOctave);
+}
+
+void Histogram::Observe(double value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  const uint64_t n = count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + value,
+                                     std::memory_order_relaxed)) {
+  }
+  if (n == 0) {
+    // First observation seeds both extremes; races with concurrent first
+    // observations resolve through the CAS loops below.
+    double expected = 0.0;
+    min_.compare_exchange_strong(expected, value, std::memory_order_relaxed);
+    expected = 0.0;
+    max_.compare_exchange_strong(expected, value, std::memory_order_relaxed);
+  }
+  double m = min_.load(std::memory_order_relaxed);
+  while (value < m &&
+         !min_.compare_exchange_weak(m, value, std::memory_order_relaxed)) {
+  }
+  m = max_.load(std::memory_order_relaxed);
+  while (value > m &&
+         !max_.compare_exchange_weak(m, value, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::ObservedMin() const {
+  return Count() > 0 ? min_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::ObservedMax() const {
+  return Count() > 0 ? max_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::Percentile(double p) const {
+  const uint64_t n = Count();
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const uint64_t target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(p / 100.0 *
+                                         static_cast<double>(n))));
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= target) {
+      // Geometric midpoint of the bucket, clamped to the observed range.
+      const double hi = BucketUpperBound(i);
+      const double lo = i == 0 ? kMinValue : BucketUpperBound(i - 1);
+      const double mid = std::sqrt(lo * hi);
+      return std::clamp(mid, ObservedMin(), ObservedMax());
+    }
+  }
+  return ObservedMax();
+}
+
+std::vector<std::pair<double, uint64_t>> Histogram::NonEmptyBuckets() const {
+  std::vector<std::pair<double, uint64_t>> out;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (c != 0) out.emplace_back(BucketUpperBound(i), c);
+  }
+  return out;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<std::pair<std::string, const Counter*>>
+MetricsRegistry::Counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const Counter*>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, metric] : counters_) {
+    out.emplace_back(name, metric.get());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, const Gauge*>> MetricsRegistry::Gauges()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const Gauge*>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, metric] : gauges_) {
+    out.emplace_back(name, metric.get());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, const Histogram*>>
+MetricsRegistry::Histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, metric] : histograms_) {
+    out.emplace_back(name, metric.get());
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace song::obs

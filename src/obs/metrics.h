@@ -1,0 +1,127 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// Zero-dependency metrics registry: named counters, gauges and log-scale
+// histograms, cheap enough to leave enabled on the search hot path. Updates
+// are lock-free (relaxed atomics); only name->metric resolution takes a
+// mutex, so callers resolve once and cache the returned reference.
+//
+// Exporters (Prometheus text / structured JSON) live in obs/exporters.h —
+// this header stays a leaf so core, gpusim and baselines can all record
+// into a registry without include cycles.
+
+#ifndef SONG_OBS_METRICS_H_
+#define SONG_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace song::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar (throughput, occupancy, config echoes).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double d) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + d,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-scale histogram over positive values (latencies in us, hop counts,
+/// byte totals). Buckets grow geometrically by 2^(1/8) (~9% relative width),
+/// covering [1e-9, 2^70) in kNumBuckets slots; values <= kMinValue land in
+/// bucket 0. Observation cost: one log2 + two relaxed atomic adds.
+class Histogram {
+ public:
+  static constexpr int kSubBucketsPerOctave = 8;
+  static constexpr int kNumOctaves = 80;  // 1e-9 * 2^80 ~ 1.2e15
+  static constexpr int kNumBuckets = kNumOctaves * kSubBucketsPerOctave;
+  static constexpr double kMinValue = 1e-9;
+
+  Histogram();
+
+  void Observe(double value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Smallest / largest observed value; 0 when empty.
+  double ObservedMin() const;
+  double ObservedMax() const;
+
+  /// Percentile estimate (p in [0, 100]) from the bucket counts; exact to
+  /// within one bucket's relative width (~9%), clamped to the observed
+  /// min/max. Returns 0 when empty.
+  double Percentile(double p) const;
+
+  /// Non-empty (upper_bound, count) pairs, ascending, for exporters.
+  std::vector<std::pair<double, uint64_t>> NonEmptyBuckets() const;
+
+  static int BucketIndex(double value);
+  static double BucketUpperBound(int index);
+
+ private:
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};  // valid iff count_ > 0
+  std::atomic<double> max_{0.0};
+};
+
+/// Thread-safe name -> metric store. Metrics are created on first use and
+/// never removed, so returned references stay valid for the registry's
+/// lifetime. Names use dotted lowercase ("song.query.latency_us"); the
+/// Prometheus exporter rewrites the dots.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  /// Sorted snapshots for exporters (pointers stay valid; values are live).
+  std::vector<std::pair<std::string, const Counter*>> Counters() const;
+  std::vector<std::pair<std::string, const Gauge*>> Gauges() const;
+  std::vector<std::pair<std::string, const Histogram*>> Histograms() const;
+
+  /// Process-wide default registry (benches / CLI convenience).
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace song::obs
+
+#endif  // SONG_OBS_METRICS_H_

@@ -2,11 +2,84 @@
 
 #include <algorithm>
 #include <thread>
+#include <utility>
 
 #include "core/thread_pool.h"
 #include "core/timer.h"
 
 namespace song {
+
+namespace {
+
+/// Batch-level counters and occupancy/latency distributions. Counter names
+/// deliberately mirror the hop/probe metrics the baselines emit
+/// (hnsw.search.*, ivfpq.search.*) so SONG-vs-baseline dashboards line up.
+void RecordBatchMetrics(const BatchResult& batch,
+                        const SongSearchOptions& options,
+                        obs::MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  registry->GetCounter("song.batch.batches").Increment();
+  registry->GetCounter("song.batch.queries").Increment(batch.num_queries);
+  registry->GetGauge("song.batch.wall_seconds").Set(batch.wall_seconds);
+  registry->GetGauge("song.batch.qps").Set(batch.Qps());
+  registry->GetGauge("song.batch.queue_size")
+      .Set(static_cast<double>(options.queue_size));
+
+  obs::Histogram& latency = registry->GetHistogram("song.query.latency_us");
+  for (const float us : batch.latencies_us) {
+    latency.Observe(static_cast<double>(us));
+  }
+
+  const SearchStats& s = batch.stats;
+  registry->GetCounter("song.search.iterations").Increment(s.iterations);
+  registry->GetCounter("song.search.hops").Increment(s.vertices_expanded);
+  registry->GetCounter("song.search.distance_computations")
+      .Increment(s.distance_computations);
+  registry->GetCounter("song.search.graph_rows_loaded")
+      .Increment(s.graph_rows_loaded);
+  registry->GetCounter("song.search.graph_bytes_loaded")
+      .Increment(s.graph_bytes_loaded);
+  registry->GetCounter("song.search.data_bytes_loaded")
+      .Increment(s.data_bytes_loaded);
+  registry->GetCounter("song.search.q_pushes").Increment(s.q_pushes);
+  registry->GetCounter("song.search.q_pops").Increment(s.q_pops);
+  registry->GetCounter("song.search.q_evictions").Increment(s.q_evictions);
+  registry->GetCounter("song.search.q_rejections").Increment(s.q_rejections);
+  registry->GetCounter("song.search.topk_pushes").Increment(s.topk_pushes);
+  registry->GetCounter("song.search.topk_evictions")
+      .Increment(s.topk_evictions);
+  registry->GetCounter("song.search.visited_tests").Increment(s.visited_tests);
+  registry->GetCounter("song.search.visited_insertions")
+      .Increment(s.visited_insertions);
+  registry->GetCounter("song.search.visited_deletions")
+      .Increment(s.visited_deletions);
+  registry->GetCounter("song.search.visited_insert_failures")
+      .Increment(s.visited_insert_failures);
+  registry->GetCounter("song.search.selected_insertion_skips")
+      .Increment(s.selected_insertion_skips);
+  registry->GetGauge("song.search.visited_capacity_bytes")
+      .Set(static_cast<double>(s.visited_capacity_bytes));
+  registry->GetGauge("song.search.peak_visited_size")
+      .Set(static_cast<double>(s.peak_visited_size));
+
+  registry->GetCounter("song.trace.sampled").Increment(batch.traces.size());
+  registry->GetCounter("song.trace.dropped").Increment(batch.traces_dropped);
+  if (!batch.traces.empty()) {
+    obs::Histogram& hops = registry->GetHistogram("song.trace.hops");
+    obs::Histogram& frontier =
+        registry->GetHistogram("song.trace.peak_frontier");
+    for (const obs::SearchTrace& t : batch.traces) {
+      hops.Observe(static_cast<double>(t.Hops()));
+      uint32_t peak = 0;
+      for (const obs::TraceIterationRow& r : t.rows) {
+        peak = std::max(peak, r.frontier_size);
+      }
+      frontier.Observe(static_cast<double>(peak));
+    }
+  }
+}
+
+}  // namespace
 
 BatchEngine::BatchEngine(const SongSearcher* searcher, size_t num_threads)
     : searcher_(searcher),
@@ -18,6 +91,12 @@ BatchEngine::BatchEngine(const SongSearcher* searcher, size_t num_threads)
 
 BatchResult BatchEngine::Search(const Dataset& queries, size_t k,
                                 const SongSearchOptions& options) const {
+  return Search(queries, k, options, BatchTelemetry{});
+}
+
+BatchResult BatchEngine::Search(const Dataset& queries, size_t k,
+                                const SongSearchOptions& options,
+                                const BatchTelemetry& telemetry) const {
   BatchResult batch;
   batch.num_queries = queries.num();
   batch.results.resize(queries.num());
@@ -26,17 +105,37 @@ BatchResult BatchEngine::Search(const Dataset& queries, size_t k,
   std::vector<SongWorkspace> workspaces(num_threads_);
   std::vector<SearchStats> thread_stats(num_threads_);
 
+  const obs::TraceSampler sampler(telemetry.trace_sample_period,
+                                  telemetry.trace_seed);
+  obs::TraceCollector collector(telemetry.max_traces);
+
   Timer timer;
   ParallelFor(queries.num(), num_threads_, [&](size_t qi, size_t tid) {
+    const bool traced = sampler.ShouldSample(qi);
+    obs::SearchTrace trace;
     Timer query_timer;
     batch.results[qi] =
         searcher_->Search(queries.Row(static_cast<idx_t>(qi)), k, options,
-                          &workspaces[tid], &thread_stats[tid]);
+                          &workspaces[tid], &thread_stats[tid],
+                          traced ? &trace : nullptr);
     batch.latencies_us[qi] = static_cast<float>(query_timer.ElapsedMicros());
+    if (traced) {
+      trace.query_id = qi;
+      trace.wall_micros = static_cast<double>(batch.latencies_us[qi]);
+      collector.Add(std::move(trace));
+    }
   });
   batch.wall_seconds = timer.ElapsedSeconds();
 
   for (const SearchStats& s : thread_stats) batch.stats.Add(s);
+  batch.traces_dropped = collector.dropped();
+  batch.traces = collector.Take();
+  // Worker completion order is nondeterministic; keep exports stable.
+  std::sort(batch.traces.begin(), batch.traces.end(),
+            [](const obs::SearchTrace& a, const obs::SearchTrace& b) {
+              return a.query_id < b.query_id;
+            });
+  RecordBatchMetrics(batch, options, telemetry.registry);
   return batch;
 }
 

@@ -13,9 +13,25 @@
 #include <vector>
 
 #include "core/dataset.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "song/song_searcher.h"
 
 namespace song {
+
+/// Opt-in observability for a batch run: per-query traces at 1-in-M
+/// sampling and/or metric recording into a registry. The defaults (no
+/// registry, period 0) make telemetry a no-op.
+struct BatchTelemetry {
+  /// Destination for batch/query metrics; nullptr disables recording.
+  obs::MetricsRegistry* registry = nullptr;
+  /// Trace 1 in `trace_sample_period` queries (0 = tracing off, 1 = all).
+  uint32_t trace_sample_period = 0;
+  /// Seed of the deterministic query sampler.
+  uint64_t trace_seed = 0x534f4e47;  // "SONG"
+  /// Hard cap on collected traces per batch.
+  size_t max_traces = 4096;
+};
 
 struct BatchResult {
   std::vector<std::vector<Neighbor>> results;
@@ -25,6 +41,10 @@ struct BatchResult {
   size_t num_queries = 0;
   /// Per-query service times in microseconds (same order as `results`).
   std::vector<float> latencies_us;
+  /// Sampled per-query traces (empty unless BatchTelemetry enabled them).
+  std::vector<obs::SearchTrace> traces;
+  /// Traces discarded after `max_traces` was reached.
+  size_t traces_dropped = 0;
 
   double Qps() const {
     return wall_seconds > 0.0 ? static_cast<double>(num_queries) /
@@ -56,6 +76,13 @@ class BatchEngine {
   /// aggregated counters.
   BatchResult Search(const Dataset& queries, size_t k,
                      const SongSearchOptions& options) const;
+
+  /// Same, with sampled per-query tracing and metric recording. Tracing a
+  /// 1-in-M sample adds one deterministic hash per query and a null check
+  /// per search iteration for the untraced majority.
+  BatchResult Search(const Dataset& queries, size_t k,
+                     const SongSearchOptions& options,
+                     const BatchTelemetry& telemetry) const;
 
   size_t num_threads() const { return num_threads_; }
 

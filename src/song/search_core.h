@@ -14,6 +14,7 @@
 
 #include "core/types.h"
 #include "graph/fixed_degree_graph.h"
+#include "obs/trace.h"
 #include "song/bounded_heap.h"
 #include "song/search_options.h"
 #include "song/visited_table.h"
@@ -57,12 +58,50 @@ inline size_t AutoHashCapacity(const SongSearchOptions& options,
 
 }  // namespace internal
 
+namespace internal {
+
+/// Appends one trace row holding the counter deltas since `before` and the
+/// current structure occupancy. Only runs for sampled queries.
+inline void AppendTraceRow(obs::SearchTrace* trace, uint32_t iteration,
+                           const SearchStats& before, const SearchStats& now,
+                           size_t frontier, size_t topk, size_t visited,
+                           size_t candidates) {
+  obs::TraceIterationRow row;
+  row.iteration = iteration;
+  row.frontier_size = static_cast<uint32_t>(frontier);
+  row.topk_size = static_cast<uint32_t>(topk);
+  row.visited_size = static_cast<uint32_t>(visited);
+  row.rows_loaded =
+      static_cast<uint32_t>(now.graph_rows_loaded - before.graph_rows_loaded);
+  row.q_pops = static_cast<uint32_t>(now.q_pops - before.q_pops);
+  row.visited_tests =
+      static_cast<uint32_t>(now.visited_tests - before.visited_tests);
+  row.candidates = static_cast<uint32_t>(candidates);
+  row.dist_comps = static_cast<uint32_t>(now.distance_computations -
+                                         before.distance_computations);
+  row.heap_pushes = static_cast<uint32_t>(
+      (now.q_pushes + now.q_evictions) - (before.q_pushes + before.q_evictions));
+  row.topk_ops = static_cast<uint32_t>(
+      (now.topk_pushes + now.topk_evictions) -
+      (before.topk_pushes + before.topk_evictions));
+  row.visited_inserts = static_cast<uint32_t>(now.visited_insertions -
+                                              before.visited_insertions);
+  row.visited_deletes = static_cast<uint32_t>(now.visited_deletions -
+                                              before.visited_deletions);
+  trace->rows.push_back(row);
+}
+
+}  // namespace internal
+
 /// Runs the decoupled search (candidate locating -> bulk distance ->
 /// maintenance) and returns the k closest vertices found, ascending.
 ///
 /// `distance(v)` returns the query-to-vertex score (smaller = closer);
 /// `point_bytes` is the per-vertex payload fetched by the bulk-distance
-/// stage (for memory-traffic accounting).
+/// stage (for memory-traffic accounting). When `trace` is non-null the
+/// search also records one obs::TraceIterationRow per iteration — the cost
+/// is a null check per round for untraced queries, so tracing N-in-M
+/// queries leaves the hot path unchanged.
 template <typename DistanceFn>
 std::vector<Neighbor> SongSearchCore(const FixedDegreeGraph& graph,
                                      idx_t entry, size_t num_points,
@@ -70,7 +109,8 @@ std::vector<Neighbor> SongSearchCore(const FixedDegreeGraph& graph,
                                      size_t k,
                                      const SongSearchOptions& options,
                                      SongWorkspace* workspace,
-                                     SearchStats* stats) {
+                                     SearchStats* stats,
+                                     obs::SearchTrace* trace = nullptr) {
   const size_t ef = std::max(options.queue_size, k);
   const size_t degree = graph.degree();
   const size_t multi_step = std::max<size_t>(1, options.multi_step_probe);
@@ -103,6 +143,13 @@ std::vector<Neighbor> SongSearchCore(const FixedDegreeGraph& graph,
   local.visited_capacity_bytes = visited.MemoryBytes();
   local.queue_bytes = (ef + 2 + ef) * sizeof(Neighbor);
 
+  if (trace != nullptr) {
+    trace->k = static_cast<uint32_t>(k);
+    trace->queue_size = static_cast<uint32_t>(ef);
+    trace->config = options.Name();
+    trace->rows.clear();
+  }
+
   const float entry_dist = distance(entry);
   ++local.distance_computations;
   local.data_bytes_loaded += point_bytes;
@@ -111,9 +158,18 @@ std::vector<Neighbor> SongSearchCore(const FixedDegreeGraph& graph,
   q.Push(Neighbor(entry_dist, entry));
   ++local.q_pushes;
 
+  if (trace != nullptr) {
+    // Row 0: entry initialization (one distance, one insert, one push).
+    internal::AppendTraceRow(trace, 0, SearchStats{}, local, q.size(),
+                             topk.size(), visited.size(),
+                             /*candidates=*/1);
+  }
+
   // --- Main loop: one 3-stage round per iteration. ---
+  SearchStats iter_start;
   while (!q.empty()) {
     ++local.iterations;
+    if (trace != nullptr) iter_start = local;
 
     // ---- Stage 1: candidate locating. ----
     candidates.clear();
@@ -170,8 +226,15 @@ std::vector<Neighbor> SongSearchCore(const FixedDegreeGraph& graph,
         if (!duplicate) candidates.push_back(v);
       }
     }
-    if (terminate) break;
-    if (candidates.empty()) continue;
+    if (terminate || candidates.empty()) {
+      if (trace != nullptr) {
+        internal::AppendTraceRow(trace, static_cast<uint32_t>(local.iterations),
+                                 iter_start, local, q.size(), topk.size(),
+                                 visited.size(), candidates.size());
+      }
+      if (terminate) break;
+      continue;
+    }
 
     // ---- Stage 2: bulk distance computation. ----
     dists.resize(candidates.size());
@@ -224,6 +287,12 @@ std::vector<Neighbor> SongSearchCore(const FixedDegreeGraph& graph,
       }
       local.peak_visited_size =
           std::max(local.peak_visited_size, visited.size());
+    }
+
+    if (trace != nullptr) {
+      internal::AppendTraceRow(trace, static_cast<uint32_t>(local.iterations),
+                               iter_start, local, q.size(), topk.size(),
+                               visited.size(), candidates.size());
     }
   }
 

@@ -21,7 +21,8 @@ std::vector<Neighbor> SongSearcher::Search(const float* query, size_t k,
 std::vector<Neighbor> SongSearcher::Search(const float* query, size_t k,
                                            const SongSearchOptions& options,
                                            SongWorkspace* workspace,
-                                           SearchStats* stats) const {
+                                           SearchStats* stats,
+                                           obs::SearchTrace* trace) const {
   SONG_DCHECK(workspace != nullptr);
   const DistanceFunc dist = GetDistanceFunc(metric_);
   const size_t dim = data_->dim();
@@ -29,7 +30,7 @@ std::vector<Neighbor> SongSearcher::Search(const float* query, size_t k,
   return SongSearchCore(
       *graph_, entry_, data.num(), dim * sizeof(float),
       [&](idx_t v) { return dist(query, data.Row(v), dim); }, k, options,
-      workspace, stats);
+      workspace, stats, trace);
 }
 
 }  // namespace song

@@ -36,11 +36,13 @@ class SongSearcher {
                Metric metric, idx_t entry = 0);
 
   /// Top-k search for one query. `workspace` may be shared across calls on
-  /// the same thread; `stats` (optional) accumulates work counters.
+  /// the same thread; `stats` (optional) accumulates work counters; `trace`
+  /// (optional) records a per-iteration obs::SearchTrace for this query.
   std::vector<Neighbor> Search(const float* query, size_t k,
                                const SongSearchOptions& options,
                                SongWorkspace* workspace,
-                               SearchStats* stats = nullptr) const;
+                               SearchStats* stats = nullptr,
+                               obs::SearchTrace* trace = nullptr) const;
 
   /// Convenience overload owning a transient workspace.
   std::vector<Neighbor> Search(const float* query, size_t k,

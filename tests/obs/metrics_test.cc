@@ -1,0 +1,163 @@
+// Unit tests for the observability metrics primitives: log-scale histogram
+// percentiles against a sorted-vector oracle, registry behavior under a
+// thread pool, and the counter/gauge basics.
+
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "gtest/gtest.h"
+
+namespace song::obs {
+namespace {
+
+TEST(Counter, IncrementsAndReads) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 2.5);
+  g.Add(-1.0);
+  EXPECT_DOUBLE_EQ(g.Value(), 1.5);
+  g.Set(7.0);
+  EXPECT_DOUBLE_EQ(g.Value(), 7.0);
+}
+
+TEST(Histogram, BucketIndexIsMonotoneAndBounded) {
+  int prev = -1;
+  for (double v = 1e-10; v < 1e12; v *= 1.7) {
+    const int idx = Histogram::BucketIndex(v);
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, Histogram::kNumBuckets);
+    ASSERT_GE(idx, prev) << "bucket index not monotone at " << v;
+    prev = idx;
+    // The bucket's upper bound must actually bound the value.
+    EXPECT_LE(v, Histogram::BucketUpperBound(idx) * (1.0 + 1e-12));
+  }
+  // Degenerate inputs land in bucket 0 instead of crashing.
+  EXPECT_EQ(Histogram::BucketIndex(0.0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(-5.0), 0);
+}
+
+TEST(Histogram, CountSumMinMax) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+  h.Observe(3.0);
+  h.Observe(1.0);
+  h.Observe(10.0);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 14.0);
+  EXPECT_DOUBLE_EQ(h.ObservedMin(), 1.0);
+  EXPECT_DOUBLE_EQ(h.ObservedMax(), 10.0);
+}
+
+// Percentiles vs a sorted-vector oracle. The histogram's buckets are
+// 2^(1/8) wide (~9% relative), and the estimate is the bucket's geometric
+// midpoint, so the estimate must sit within ~one bucket of the exact order
+// statistic.
+TEST(Histogram, PercentileMatchesSortedOracle) {
+  std::mt19937_64 rng(20260806);
+  // Log-uniform values spanning 6 decades — the shape of latency data.
+  std::uniform_real_distribution<double> exponent(-3.0, 3.0);
+  const size_t n = 20000;
+  Histogram h;
+  std::vector<double> values;
+  values.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double v = std::pow(10.0, exponent(rng));
+    values.push_back(v);
+    h.Observe(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double p : {1.0, 25.0, 50.0, 90.0, 95.0, 99.0, 99.9}) {
+    const size_t rank = static_cast<size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(n)));
+    const double oracle = values[std::min(n - 1, rank == 0 ? 0 : rank - 1)];
+    const double est = h.Percentile(p);
+    // One bucket of relative error (2^(1/8) ~ 1.0905) plus slack for the
+    // rank landing at a bucket edge.
+    EXPECT_NEAR(est / oracle, 1.0, 0.13)
+        << "p" << p << ": est " << est << " oracle " << oracle;
+  }
+  // Extremes clamp into the observed range.
+  EXPECT_GE(h.Percentile(0), h.ObservedMin());
+  EXPECT_LE(h.Percentile(0), h.ObservedMin() * 1.10);
+  EXPECT_LE(h.Percentile(100), h.ObservedMax());
+  EXPECT_GE(h.Percentile(100), h.ObservedMax() / 1.10);
+}
+
+TEST(Histogram, SingleValuePercentilesAreExact) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Observe(42.0);
+  // All mass in one bucket: clamping to observed min/max makes every
+  // percentile exact.
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 42.0);
+}
+
+TEST(MetricsRegistry, ReturnsStableReferences) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("song.test.counter");
+  Counter& b = registry.GetCounter("song.test.counter");
+  EXPECT_EQ(&a, &b);
+  a.Increment(3);
+  EXPECT_EQ(b.Value(), 3u);
+  EXPECT_NE(static_cast<void*>(&registry.GetGauge("song.test.counter")),
+            static_cast<void*>(&a));  // separate namespaces per metric kind
+}
+
+TEST(MetricsRegistry, SnapshotsAreSortedByName) {
+  MetricsRegistry registry;
+  registry.GetCounter("zzz");
+  registry.GetCounter("aaa");
+  registry.GetCounter("mmm");
+  const auto counters = registry.Counters();
+  ASSERT_EQ(counters.size(), 3u);
+  EXPECT_EQ(counters[0].first, "aaa");
+  EXPECT_EQ(counters[1].first, "mmm");
+  EXPECT_EQ(counters[2].first, "zzz");
+}
+
+// Hammer one registry from a thread pool: resolution races must not lose
+// metrics, and relaxed-atomic updates must not lose increments.
+TEST(MetricsRegistry, ConcurrentUpdatesAreExact) {
+  MetricsRegistry registry;
+  const size_t kThreads = 8;
+  const size_t kPerThread = 20000;
+  ParallelFor(kThreads, kThreads, [&](size_t task, size_t) {
+    Counter& c = registry.GetCounter("song.test.shared");
+    Histogram& h = registry.GetHistogram("song.test.latency");
+    Counter& own =
+        registry.GetCounter("song.test.t" + std::to_string(task));
+    for (size_t i = 0; i < kPerThread; ++i) {
+      c.Increment();
+      own.Increment();
+      h.Observe(static_cast<double>(i % 512 + 1));
+    }
+  });
+  EXPECT_EQ(registry.GetCounter("song.test.shared").Value(),
+            kThreads * kPerThread);
+  EXPECT_EQ(registry.GetHistogram("song.test.latency").Count(),
+            kThreads * kPerThread);
+  for (size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(registry.GetCounter("song.test.t" + std::to_string(t)).Value(),
+              kPerThread);
+  }
+  // 8 shared + 8 per-thread counters, nothing lost or duplicated.
+  EXPECT_EQ(registry.Counters().size(), kThreads + 1);
+}
+
+}  // namespace
+}  // namespace song::obs

@@ -19,4 +19,18 @@ python3 - "$RECALL" <<'PY'
 import sys
 assert float(sys.argv[1]) >= 0.8, f"recall too low: {sys.argv[1]}"
 PY
+
+# Telemetry: metrics + Chrome trace exports must be well-formed and keep
+# the per-query stage spans consistent with the cost model (within 1%).
+TOOLS_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+"$CLI" search --data "$DIR/data.sngd" --graph "$DIR/graph.sngg" \
+      --queries "$DIR/q.sngd" --k 10 --queue 96 \
+      --metrics "$DIR/metrics.prom" --metrics-json "$DIR/metrics.json" \
+      --trace "$DIR/out.trace.json" --trace-sample 2
+python3 -m json.tool "$DIR/metrics.json" > /dev/null
+python3 -m json.tool "$DIR/out.trace.json" > /dev/null
+python3 "$TOOLS_DIR/validate_telemetry.py" \
+      --trace "$DIR/out.trace.json" \
+      --metrics-json "$DIR/metrics.json" \
+      --metrics "$DIR/metrics.prom"
 echo "CLI SMOKE OK"

@@ -11,6 +11,13 @@
 //                     --queries queries.sngd [--k 10] [--queue 64]
 //                     [--config hashtable|sel|seldel|bloom|cuckoo]
 //                     [--gt gt.sngd] [--gpu v100|p40|titanx]
+//                     [--metrics out.prom] [--metrics-json out.json]
+//                     [--trace out.trace.json] [--trace-sample 100]
+//
+// Telemetry: --metrics / --metrics-json dump the batch's MetricsRegistry in
+// Prometheus text / JSON. --trace writes sampled per-query Chrome trace_event
+// JSON (open in chrome://tracing or ui.perfetto.dev); --trace-sample M keeps
+// one query in M (default 1 = every query once --trace is given).
 //
 // Everything uses the library's binary formats (SNGD datasets, SNGG graphs).
 
@@ -28,6 +35,7 @@
 #include "gpusim/simulator.h"
 #include "graph/graph_stats.h"
 #include "graph/nsw_builder.h"
+#include "obs/exporters.h"
 #include "song/song_searcher.h"
 
 namespace {
@@ -213,7 +221,24 @@ int CmdSearch(const Flags& flags) {
 
   SongSearcher searcher(&data, &graph, metric);
   const GpuSpec gpu = ParseGpu(Optional(flags, "gpu", "v100"));
-  const SimulatedRun run = SimulateBatch(searcher, queries, k, options, gpu);
+
+  const std::string metrics_path = Optional(flags, "metrics", "");
+  const std::string metrics_json_path = Optional(flags, "metrics-json", "");
+  const std::string trace_path = Optional(flags, "trace", "");
+  obs::MetricsRegistry registry;
+  BatchTelemetry telemetry;
+  if (!metrics_path.empty() || !metrics_json_path.empty() ||
+      !trace_path.empty()) {
+    telemetry.registry = &registry;
+  }
+  if (!trace_path.empty()) {
+    telemetry.trace_sample_period = static_cast<uint32_t>(std::strtoul(
+        Optional(flags, "trace-sample", "1").c_str(), nullptr, 10));
+  }
+
+  const SimulatedRun run =
+      SimulateBatch(searcher, queries, k, options, gpu, /*num_threads=*/0,
+                    telemetry);
 
   std::printf("queries: %zu, k=%zu, queue=%zu, config=%s\n", queries.num(),
               k, options.queue_size, options.Name().c_str());
@@ -243,7 +268,41 @@ int CmdSearch(const Flags& flags) {
     for (const Neighbor& n : first) std::printf(" %u(%.3f)", n.id, n.dist);
     std::printf("\n");
   }
-  return 0;
+
+  int status = 0;
+  if (!metrics_path.empty()) {
+    if (obs::WriteStringToFile(metrics_path,
+                               obs::MetricsToPrometheusText(registry))) {
+      std::printf("wrote Prometheus metrics to %s\n", metrics_path.c_str());
+    } else {
+      status = 1;
+    }
+  }
+  if (!metrics_json_path.empty()) {
+    if (obs::WriteStringToFile(metrics_json_path,
+                               obs::MetricsToJson(registry))) {
+      std::printf("wrote JSON metrics to %s\n", metrics_json_path.c_str());
+    } else {
+      status = 1;
+    }
+  }
+  if (!trace_path.empty()) {
+    CostModel model(gpu);
+    obs::ChromeTraceContext context;
+    context.model = &model;
+    context.shape = run.shape;
+    context.breakdown = run.gpu;
+    context.num_queries = run.batch.num_queries;
+    if (obs::WriteStringToFile(
+            trace_path, obs::TracesToChromeJson(run.batch.traces, context))) {
+      std::printf("wrote %zu sampled traces to %s (%zu dropped)\n",
+                  run.batch.traces.size(), trace_path.c_str(),
+                  run.batch.traces_dropped);
+    } else {
+      status = 1;
+    }
+  }
+  return status;
 }
 
 void Usage() {

@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Validates telemetry artifacts emitted by song_cli / the obs exporters.
+
+Stdlib-only. Three artifact kinds, any subset per invocation:
+
+  validate_telemetry.py --trace out.trace.json \
+                        --metrics-json out.metrics.json \
+                        --metrics out.prom
+
+Checks (see docs/observability.md for the formats):
+  * Chrome trace: well-formed trace_event JSON; every "X" event carries
+    pid/tid/ts/dur; each sampled query's per-iteration stage spans sum to
+    its query span within 1%; the GPU timeline's stage spans sum to the
+    kernel span within 1%; `otherData` carries the schema version and the
+    breakdown seconds.
+  * Metrics JSON: schema_version plus counters/gauges/histograms maps;
+    histogram entries carry count/sum/min/max/p50/p95/p99 with ordered
+    percentiles.
+  * Prometheus text: every non-comment line is `name value`; every metric
+    is preceded by a `# TYPE` declaration.
+
+Exit code 0 = all artifacts valid, 1 = validation failure, 2 = usage.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+REL_TOL = 0.01  # the 1% span-sum acceptance bound
+
+
+class ValidationError(Exception):
+    pass
+
+
+def check(cond, msg):
+    if not cond:
+        raise ValidationError(msg)
+
+
+def close(a, b, rel=REL_TOL):
+    return math.isclose(a, b, rel_tol=rel, abs_tol=1e-9)
+
+
+def validate_chrome_trace(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    check(isinstance(doc, dict), "trace: top level must be an object")
+    events = doc.get("traceEvents")
+    check(isinstance(events, list) and events,
+          "trace: missing/empty traceEvents")
+
+    other = doc.get("otherData")
+    check(isinstance(other, dict), "trace: missing otherData")
+    for key in ("schema_version", "gpu", "num_queries", "num_traces",
+                "kernel_seconds", "locate_seconds", "distance_seconds",
+                "maintain_seconds", "htod_seconds", "dtoh_seconds"):
+        check(key in other, f"trace: otherData missing {key!r}")
+    check(other["schema_version"] == 1,
+          f"trace: unknown schema_version {other['schema_version']}")
+
+    # Stage attribution partitions the kernel time.
+    stage_sum = (other["locate_seconds"] + other["distance_seconds"] +
+                 other["maintain_seconds"])
+    check(close(stage_sum, other["kernel_seconds"]),
+          f"trace: otherData stage seconds sum {stage_sum:.6g} != "
+          f"kernel_seconds {other['kernel_seconds']:.6g}")
+
+    # Index spans: pid 1 holds the sampled query chains (tid = query id).
+    query_spans = {}   # tid -> dur of the "query N" umbrella span
+    stage_sums = {}    # tid -> sum of its locate/distance/maintain spans
+    gpu_kernel_dur = None
+    gpu_stage_sum = 0.0
+    for ev in events:
+        check(isinstance(ev, dict) and "ph" in ev,
+              f"trace: malformed event {ev!r}")
+        if ev["ph"] == "M":
+            continue
+        check(ev["ph"] == "X", f"trace: unexpected phase {ev['ph']!r}")
+        for key in ("name", "pid", "tid", "ts", "dur"):
+            check(key in ev, f"trace: X event missing {key!r}: {ev!r}")
+        check(ev["dur"] >= 0, f"trace: negative duration in {ev!r}")
+        if ev["pid"] == 0:
+            if ev["name"] == "kernel":
+                gpu_kernel_dur = ev["dur"]
+            elif ev["name"] in ("locate", "distance", "maintain"):
+                gpu_stage_sum += ev["dur"]
+        elif ev["pid"] == 1:
+            if ev["name"].startswith("query "):
+                check(ev["tid"] not in query_spans,
+                      f"trace: duplicate query span for tid {ev['tid']}")
+                query_spans[ev["tid"]] = ev["dur"]
+            elif ev["name"] in ("locate", "distance", "maintain"):
+                stage_sums[ev["tid"]] = stage_sums.get(ev["tid"], 0.0) + \
+                    ev["dur"]
+
+    check(gpu_kernel_dur is not None, "trace: no GPU kernel span (pid 0)")
+    check(close(gpu_stage_sum, gpu_kernel_dur),
+          f"trace: GPU stage spans sum {gpu_stage_sum:.6g}us != kernel span "
+          f"{gpu_kernel_dur:.6g}us")
+
+    check(len(query_spans) == other["num_traces"],
+          f"trace: {len(query_spans)} query spans but otherData says "
+          f"{other['num_traces']} traces")
+    for tid, dur in query_spans.items():
+        got = stage_sums.get(tid, 0.0)
+        check(close(got, dur),
+              f"trace: query {tid} stage spans sum {got:.6g}us != query "
+              f"span {dur:.6g}us (>{REL_TOL:.0%} off)")
+    return len(query_spans)
+
+
+def validate_metrics_json(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    check(isinstance(doc, dict), "metrics-json: top level must be an object")
+    check(doc.get("schema_version") == 1,
+          f"metrics-json: unknown schema_version {doc.get('schema_version')}")
+    for section in ("counters", "gauges", "histograms"):
+        check(isinstance(doc.get(section), dict),
+              f"metrics-json: missing {section!r} object")
+    for name, value in doc["counters"].items():
+        check(isinstance(value, int) and value >= 0,
+              f"metrics-json: counter {name!r} not a non-negative int")
+    for name, value in doc["gauges"].items():
+        check(isinstance(value, (int, float)),
+              f"metrics-json: gauge {name!r} not numeric")
+    for name, h in doc["histograms"].items():
+        check(isinstance(h, dict),
+              f"metrics-json: histogram {name!r} not an object")
+        for key in ("count", "sum", "min", "max", "p50", "p95", "p99"):
+            check(key in h, f"metrics-json: histogram {name!r} missing "
+                            f"{key!r}")
+        if h["count"] > 0:
+            check(h["min"] <= h["p50"] <= h["p95"] <= h["p99"] <= h["max"]
+                  or close(h["min"], h["max"], rel=0.2),
+                  f"metrics-json: histogram {name!r} percentiles out of "
+                  f"order: {h}")
+    return sum(len(doc[s]) for s in ("counters", "gauges", "histograms"))
+
+
+def validate_prometheus(path):
+    with open(path, "r", encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    check(lines, "metrics: empty Prometheus file")
+    declared = set()
+    samples = 0
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            check(len(parts) >= 4 and parts[1] == "TYPE",
+                  f"metrics:{lineno}: bad comment {line!r}")
+            check(parts[3] in ("counter", "gauge", "summary", "histogram"),
+                  f"metrics:{lineno}: unknown type {parts[3]!r}")
+            declared.add(parts[2])
+            continue
+        parts = line.split()
+        check(len(parts) == 2, f"metrics:{lineno}: expected 'name value', "
+                               f"got {line!r}")
+        name = parts[0].split("{", 1)[0]
+        base = name
+        for suffix in ("_sum", "_count"):
+            if base.endswith(suffix):
+                base = base[: -len(suffix)]
+        check(name in declared or base in declared,
+              f"metrics:{lineno}: sample {name!r} has no # TYPE declaration")
+        try:
+            float(parts[1])
+        except ValueError:
+            raise ValidationError(
+                f"metrics:{lineno}: non-numeric value {parts[1]!r}")
+        samples += 1
+    check(samples > 0, "metrics: no samples")
+    return samples
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", help="Chrome trace_event JSON file")
+    parser.add_argument("--metrics-json", help="metrics JSON file")
+    parser.add_argument("--metrics", help="Prometheus text file")
+    args = parser.parse_args()
+    if not (args.trace or args.metrics_json or args.metrics):
+        parser.error("nothing to validate: pass --trace, --metrics-json "
+                     "and/or --metrics")
+    try:
+        if args.trace:
+            n = validate_chrome_trace(args.trace)
+            print(f"OK {args.trace}: {n} sampled query chains, span sums "
+                  f"within {REL_TOL:.0%}")
+        if args.metrics_json:
+            n = validate_metrics_json(args.metrics_json)
+            print(f"OK {args.metrics_json}: {n} metrics")
+        if args.metrics:
+            n = validate_prometheus(args.metrics)
+            print(f"OK {args.metrics}: {n} samples")
+    except (ValidationError, OSError, json.JSONDecodeError) as e:
+        print(f"FAIL: {e}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
