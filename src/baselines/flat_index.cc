@@ -7,22 +7,33 @@
 
 namespace song {
 
+namespace {
+// Rows scored per fused ComputeRange call: large enough to amortize
+// dispatch, small enough that the dists block stays in L1.
+constexpr size_t kScanBlock = 256;
+}  // namespace
+
 FlatIndex::FlatIndex(const Dataset* data, Metric metric)
-    : data_(data), metric_(metric) {
+    : data_(data), metric_(metric), batch_dist_(metric, data) {
   SONG_CHECK(data != nullptr);
 }
 
 std::vector<Neighbor> FlatIndex::Search(const float* query, size_t k) const {
-  const DistanceFunc dist = GetDistanceFunc(metric_);
-  const size_t dim = data_->dim();
+  const float qn = batch_dist_.QueryNormSqr(query);
+  float dists[kScanBlock];
   std::priority_queue<Neighbor> heap;  // max-heap of the k best
-  for (size_t i = 0; i < data_->num(); ++i) {
-    const float d = dist(query, data_->Row(static_cast<idx_t>(i)), dim);
-    if (heap.size() < k) {
-      heap.emplace(d, static_cast<idx_t>(i));
-    } else if (Neighbor(d, static_cast<idx_t>(i)) < heap.top()) {
-      heap.pop();
-      heap.emplace(d, static_cast<idx_t>(i));
+  for (size_t first = 0; first < data_->num(); first += kScanBlock) {
+    const size_t n = std::min(kScanBlock, data_->num() - first);
+    batch_dist_.ComputeRange(query, qn, static_cast<idx_t>(first), n, dists);
+    for (size_t j = 0; j < n; ++j) {
+      const idx_t i = static_cast<idx_t>(first + j);
+      const float d = dists[j];
+      if (heap.size() < k) {
+        heap.emplace(d, i);
+      } else if (Neighbor(d, i) < heap.top()) {
+        heap.pop();
+        heap.emplace(d, i);
+      }
     }
   }
   std::vector<Neighbor> out(heap.size());

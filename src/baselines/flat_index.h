@@ -35,6 +35,7 @@ class FlatIndex {
  private:
   const Dataset* data_;
   Metric metric_;
+  BatchDistance batch_dist_;  ///< fused contiguous-range scan kernel
 };
 
 }  // namespace song

@@ -34,6 +34,7 @@ Hnsw::Hnsw(const Dataset* data, Metric metric, const HnswBuildOptions& options)
     : data_(data),
       metric_(metric),
       dist_(GetDistanceFunc(metric)),
+      batch_dist_(metric, data),
       m_(options.m),
       level_mult_(1.0 / std::log(static_cast<double>(options.m))) {
   SONG_CHECK(data != nullptr);
@@ -252,7 +253,7 @@ std::vector<Neighbor> Hnsw::SearchLayer(const float* query,
                                         size_t ef, size_t level,
                                         VisitedBuffer* visited,
                                         HnswSearchStats* stats) const {
-  const size_t dim = data_->dim();
+  const float qn = batch_dist_.QueryNormSqr(query);
   visited->Resize(data_->num());
   visited->NextEpoch();
   std::priority_queue<Neighbor, std::vector<Neighbor>, std::greater<>> cand;
@@ -264,17 +265,33 @@ std::vector<Neighbor> Hnsw::SearchLayer(const float* query,
     if (top.size() > ef) top.pop();
   }
   const size_t cap = RowCapacity(level);
+  // Unvisited neighbors are gathered first, then scored in one fused batch
+  // call — valid because their distances do not depend on heap state, only
+  // the accept/push step does.
+  std::vector<idx_t> batch_ids;
+  std::vector<float> batch_dists;
+  batch_ids.reserve(cap);
+  batch_dists.reserve(cap);
   while (!cand.empty()) {
     const Neighbor now = cand.top();
     cand.pop();
     if (top.size() >= ef && now.dist > top.top().dist) break;
     if (stats != nullptr) ++stats->hops;
     const idx_t* row = Row(now.id, level);
+    batch_ids.clear();
     for (size_t i = 0; i < cap && row[i] != kInvalidIdx; ++i) {
       const idx_t u = row[i];
       if (visited->TestAndSet(u)) continue;
-      const float d = dist_(query, data_->Row(u), dim);
-      if (stats != nullptr) ++stats->distance_computations;
+      batch_ids.push_back(u);
+    }
+    if (batch_ids.empty()) continue;
+    batch_dists.resize(batch_ids.size());
+    batch_dist_.ComputeBatch(query, qn, batch_ids.data(), batch_ids.size(),
+                             batch_dists.data());
+    if (stats != nullptr) stats->distance_computations += batch_ids.size();
+    for (size_t i = 0; i < batch_ids.size(); ++i) {
+      const idx_t u = batch_ids[i];
+      const float d = batch_dists[i];
       if (top.size() < ef || d < top.top().dist) {
         cand.emplace(d, u);
         top.emplace(d, u);

@@ -80,6 +80,7 @@ class Hnsw {
       : data_(data),
         metric_(metric),
         dist_(GetDistanceFunc(metric)),
+        batch_dist_(metric, data),
         m_(m),
         level_mult_(1.0) {}
 
@@ -101,7 +102,8 @@ class Hnsw {
 
   const Dataset* data_;
   Metric metric_;
-  DistanceFunc dist_;
+  DistanceFunc dist_;            ///< pairwise kernel (build path)
+  BatchDistance batch_dist_;     ///< fused gather kernel (query path)
   size_t m_;
   double level_mult_;
 

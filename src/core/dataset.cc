@@ -28,7 +28,11 @@ StatusOr<Dataset> Dataset::FromFlat(const std::vector<float>& flat, size_t num,
 }
 
 void Dataset::SetRow(idx_t i, const float* values) {
-  std::memcpy(Row(i), values, dim_ * sizeof(float));
+  float* row = Row(i);
+  std::memcpy(row, values, dim_ * sizeof(float));
+  if (stride_ > dim_) {
+    std::memset(row + dim_, 0, (stride_ - dim_) * sizeof(float));
+  }
 }
 
 void Dataset::NormalizeRows() {

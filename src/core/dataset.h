@@ -4,6 +4,10 @@
 // Rows are padded to a multiple of 16 floats so every row starts on a
 // 64-byte boundary (the CPU analogue of the GPU's aligned global-memory
 // segments, paper §II).
+//
+// Invariant: the padded tail of every row (floats [dim, stride)) is always
+// zero. The buffer is zero-filled on allocation and SetRow re-clears the
+// tail, so full-stride vector reads of a row are well-defined.
 
 #ifndef SONG_CORE_DATASET_H_
 #define SONG_CORE_DATASET_H_
@@ -50,8 +54,22 @@ class Dataset {
     return data_.data() + static_cast<size_t>(i) * stride_;
   }
 
-  /// Copies a row in (source must have dim() floats).
+  /// Copies a row in (source must have dim() floats) and re-zeroes the
+  /// padded tail, preserving the zero-pad invariant.
   void SetRow(idx_t i, const float* values);
+
+  /// Hints row `i` into cache (used by the search core to hide the gather
+  /// latency of Stage 2 bulk-distance rows one hop ahead). No-op semantics:
+  /// safe to call for any valid row.
+  void PrefetchRow(idx_t i) const {
+    const char* p = reinterpret_cast<const char*>(Row(i));
+    const size_t bytes = dim_ * sizeof(float);
+    for (size_t off = 0; off < bytes; off += 64) __builtin_prefetch(p + off, 0, 3);
+  }
+
+  /// The padded row stride (in floats) used for a given dim: next multiple
+  /// of 16. Public so kernels and tests can reason about row layout.
+  static size_t PaddedStride(size_t dim) { return (dim + 15) / 16 * 16; }
 
   /// L2-normalizes every row in place (used for cosine / inner-product
   /// workloads). Zero rows are left unchanged.
@@ -63,8 +81,6 @@ class Dataset {
   static StatusOr<Dataset> Load(const std::string& path);
 
  private:
-  static size_t PaddedStride(size_t dim) { return (dim + 15) / 16 * 16; }
-
   size_t num_ = 0;
   size_t dim_ = 0;
   size_t stride_ = 0;

@@ -1,0 +1,70 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// Internal per-tier distance kernel tables. Each tier lives in its own
+// translation unit compiled with the matching -m flags; this header is the
+// contract between those TUs and the dispatcher in distance.cc. Tests and
+// the micro bench include it directly to pin a specific tier regardless of
+// what ActiveSimdTier() resolved to.
+//
+// Kernel contracts (all tiers):
+//  - Only a[0..dim) / b[0..dim) are read — remainder lanes are handled with
+//    scalar tails, never by reading past `dim` — so kernels are safe on
+//    unpadded std::vector storage and under ASan.
+//  - Within one tier, the gather/range kernels accumulate each row in
+//    exactly the same order as the pair kernel, so batch results are
+//    bit-identical to single-pair results of the same tier.
+//  - Across tiers, results agree with the double-precision oracle within a
+//    dim-scaled few-ulp tolerance (summation order differs by design).
+
+#ifndef SONG_CORE_DISTANCE_KERNELS_H_
+#define SONG_CORE_DISTANCE_KERNELS_H_
+
+#include <cstddef>
+
+#include "core/simd.h"
+#include "core/types.h"
+
+namespace song::internal {
+
+/// (a, b, dim) -> scalar result.
+using PairKernel = float (*)(const float* a, const float* b, size_t dim);
+
+/// One query vs many gathered rows: out[i] = op(q, base + ids[i] * stride).
+/// Fused: the query streams through registers once per row block, and rows
+/// i+lookahead are prefetched while row i is being reduced.
+using GatherKernel = void (*)(const float* q, const float* base,
+                              size_t stride, size_t dim, const idx_t* ids,
+                              size_t n, float* out);
+
+/// One query vs a contiguous row range: out[i] = op(q, base + (first + i) *
+/// stride) for i in [0, n).
+using RangeKernel = void (*)(const float* q, const float* base, size_t stride,
+                             size_t dim, idx_t first, size_t n, float* out);
+
+struct DistanceKernelTable {
+  /// False when this TU was built without its -m flags (non-x86 target or
+  /// toolchain without the extension): every pointer below then aliases the
+  /// scalar implementation so dereferencing is always safe.
+  bool compiled = false;
+
+  PairKernel l2 = nullptr;       ///< squared euclidean
+  PairKernel dot = nullptr;      ///< plain (positive) dot product
+  PairKernel ip = nullptr;       ///< -dot (the "smaller is closer" score)
+  PairKernel cosine = nullptr;   ///< 1 - dot / sqrt(|a||b|)
+
+  GatherKernel l2_gather = nullptr;
+  GatherKernel dot_gather = nullptr;
+  RangeKernel l2_range = nullptr;
+  RangeKernel dot_range = nullptr;
+};
+
+const DistanceKernelTable& ScalarKernelTable();
+const DistanceKernelTable& Avx2KernelTable();
+const DistanceKernelTable& Avx512KernelTable();
+
+/// The table for `tier` (scalar-aliased when the tier was not compiled in).
+const DistanceKernelTable& KernelTableForTier(SimdTier tier);
+
+}  // namespace song::internal
+
+#endif  // SONG_CORE_DISTANCE_KERNELS_H_

@@ -1,0 +1,89 @@
+#include "core/simd.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/distance_kernels.h"
+
+namespace song {
+
+const char* SimdTierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return "scalar";
+    case SimdTier::kAvx2:
+      return "avx2";
+    case SimdTier::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+SimdTier CpuSimdTier() {
+#if defined(__x86_64__) || defined(__i386__)
+  // AVX-512VL lets the kernels mix 512/256-bit ops without transition
+  // penalties; requiring the full F+BW+DQ+VL set matches the -m flags the
+  // avx512 TU is built with.
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512bw") &&
+      __builtin_cpu_supports("avx512dq") &&
+      __builtin_cpu_supports("avx512vl")) {
+    return SimdTier::kAvx512;
+  }
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return SimdTier::kAvx2;
+  }
+#endif
+  return SimdTier::kScalar;
+}
+
+bool SimdTierCompiled(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return true;
+    case SimdTier::kAvx2:
+      return internal::Avx2KernelTable().compiled;
+    case SimdTier::kAvx512:
+      return internal::Avx512KernelTable().compiled;
+  }
+  return false;
+}
+
+namespace {
+
+SimdTier ResolveActiveTier() {
+  SimdTier tier = CpuSimdTier();
+  while (tier != SimdTier::kScalar && !SimdTierCompiled(tier)) {
+    tier = static_cast<SimdTier>(static_cast<int>(tier) - 1);
+  }
+  const char* env = std::getenv("SONG_SIMD");
+  if (env != nullptr && env[0] != '\0') {
+    SimdTier requested = tier;
+    if (std::strcmp(env, "scalar") == 0) {
+      requested = SimdTier::kScalar;
+    } else if (std::strcmp(env, "avx2") == 0) {
+      requested = SimdTier::kAvx2;
+    } else if (std::strcmp(env, "avx512") == 0) {
+      requested = SimdTier::kAvx512;
+    } else {
+      std::fprintf(stderr,
+                   "[song] ignoring unknown SONG_SIMD=%s "
+                   "(expected scalar|avx2|avx512)\n",
+                   env);
+    }
+    // The override can only narrow: requesting a tier the CPU or binary
+    // cannot run would trap on the first kernel call.
+    if (requested < tier) tier = requested;
+  }
+  return tier;
+}
+
+}  // namespace
+
+SimdTier ActiveSimdTier() {
+  static const SimdTier tier = ResolveActiveTier();
+  return tier;
+}
+
+}  // namespace song

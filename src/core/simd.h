@@ -1,0 +1,48 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// Runtime SIMD dispatch for the bulk-distance stage. The paper concentrates
+// nearly all arithmetic of the search pipeline in Stage 2 (bulk distance
+// computation, §VI); on the CPU host that stage should saturate the vector
+// units. Kernels are compiled per-tier into separate translation units
+// (core/distance_simd_*.cc, each built with its own -m flags) and selected
+// once at startup from cpuid, so a single binary runs the widest path the
+// machine supports and falls back to the portable scalar kernels anywhere
+// else.
+//
+// The dispatched tier can be forced down with the environment variable
+//   SONG_SIMD=scalar|avx2|avx512
+// (it can never be raised above what the CPU supports). The sanitizer CI
+// legs pin SONG_SIMD=scalar so instrumented runs exercise the portable path.
+
+#ifndef SONG_CORE_SIMD_H_
+#define SONG_CORE_SIMD_H_
+
+namespace song {
+
+/// Widest-first would be error prone; tiers are ordered narrow -> wide so
+/// clamping is a simple min().
+enum class SimdTier {
+  kScalar = 0,  ///< 4-way unrolled portable C++
+  kAvx2 = 1,    ///< 8-lane AVX2 + FMA
+  kAvx512 = 2,  ///< 16-lane AVX-512 F/BW/DQ/VL
+};
+
+/// "scalar" / "avx2" / "avx512".
+const char* SimdTierName(SimdTier tier);
+
+/// Widest tier the executing CPU supports (cpuid), independent of what was
+/// compiled in or requested.
+SimdTier CpuSimdTier();
+
+/// True when the kernels for `tier` were compiled into this binary (the
+/// toolchain accepted the -m flags).
+bool SimdTierCompiled(SimdTier tier);
+
+/// The tier every distance kernel actually dispatches to:
+/// min(cpu support, compiled-in, SONG_SIMD override). Resolved once and
+/// cached; reading it is free on the hot path.
+SimdTier ActiveSimdTier();
+
+}  // namespace song
+
+#endif  // SONG_CORE_SIMD_H_

@@ -56,7 +56,7 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ParallelFor(size_t n, size_t num_threads,
-                 const std::function<void(size_t, size_t)>& fn) {
+                 const std::function<void(size_t, size_t)>& fn, size_t chunk) {
   if (n == 0) return;
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
@@ -68,7 +68,7 @@ void ParallelFor(size_t n, size_t num_threads,
   }
   std::atomic<size_t> next{0};
   // Chunked dynamic scheduling keeps per-item overhead low for large n.
-  const size_t chunk = std::max<size_t>(1, n / (num_threads * 16));
+  if (chunk == 0) chunk = std::max<size_t>(1, n / (num_threads * 16));
   std::vector<std::thread> threads;
   threads.reserve(num_threads);
   for (size_t t = 0; t < num_threads; ++t) {

@@ -50,8 +50,16 @@ class ThreadPool {
 /// Runs fn(i, thread_id) for i in [0, n), dynamically chunked across
 /// `num_threads` transient threads (0 = hardware concurrency). Blocks until
 /// done. `fn` must be thread-safe across distinct i.
+///
+/// `chunk` is the number of consecutive indices claimed per atomic grab:
+/// 0 = auto (n / (threads * 16), at least 1). Callers with cache-affine
+/// work items (e.g. the batch engine's query blocks) pass a small explicit
+/// chunk so each thread streams a run of adjacent items instead of
+/// fine-grained interleaving, while load stays balanced via work stealing
+/// from the shared counter.
 void ParallelFor(size_t n, size_t num_threads,
-                 const std::function<void(size_t index, size_t thread)>& fn);
+                 const std::function<void(size_t index, size_t thread)>& fn,
+                 size_t chunk = 0);
 
 }  // namespace song
 

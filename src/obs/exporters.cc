@@ -10,6 +10,7 @@
 #include <cstring>
 
 #include "core/logging.h"
+#include "core/simd.h"
 
 namespace song::obs {
 
@@ -305,6 +306,9 @@ std::string TracesToChromeJson(const std::vector<SearchTrace>& traces,
   out += "\n],\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {";
   Appendf(&out, "\"schema_version\": %d, \"gpu\": \"%s\", ",
           kTelemetrySchemaVersion, JsonEscape(model.spec().name).c_str());
+  // Which host distance tier produced the traced run — traces stay
+  // interpretable after the fact, when the machine they ran on is gone.
+  Appendf(&out, "\"simd_tier\": \"%s\", ", SimdTierName(ActiveSimdTier()));
   Appendf(&out, "\"num_queries\": %zu, \"num_traces\": %zu, ",
           context.num_queries, traces.size());
   out += "\"kernel_seconds\": ";

@@ -4,12 +4,18 @@
 #include <thread>
 #include <utility>
 
+#include "core/simd.h"
 #include "core/thread_pool.h"
 #include "core/timer.h"
 
 namespace song {
 
 namespace {
+
+/// Queries claimed per atomic grab in the batch loop: adjacent queries
+/// share the cache-warm index pages their traversals touch, so each thread
+/// streams a small run instead of interleaving query-by-query.
+constexpr size_t kQueryChunk = 8;
 
 /// Batch-level counters and occupancy/latency distributions. Counter names
 /// deliberately mirror the hop/probe metrics the baselines emit
@@ -24,6 +30,10 @@ void RecordBatchMetrics(const BatchResult& batch,
   registry->GetGauge("song.batch.qps").Set(batch.Qps());
   registry->GetGauge("song.batch.queue_size")
       .Set(static_cast<double>(options.queue_size));
+  // Which distance tier Stage 2 dispatched to (0=scalar, 1=avx2, 2=avx512);
+  // lets deployments confirm the SIMD path is live from telemetry alone.
+  registry->GetGauge("song.search.simd_tier")
+      .Set(static_cast<double>(ActiveSimdTier()));
 
   obs::Histogram& latency = registry->GetHistogram("song.query.latency_us");
   for (const float us : batch.latencies_us) {
@@ -124,7 +134,7 @@ BatchResult BatchEngine::Search(const Dataset& queries, size_t k,
       trace.wall_micros = static_cast<double>(batch.latencies_us[qi]);
       collector.Add(std::move(trace));
     }
-  });
+  }, kQueryChunk);
   batch.wall_seconds = timer.ElapsedSeconds();
 
   for (const SearchStats& s : thread_stats) batch.stats.Add(s);

@@ -102,6 +102,16 @@ inline void AppendTraceRow(obs::SearchTrace* trace, uint32_t iteration,
 /// search also records one obs::TraceIterationRow per iteration — the cost
 /// is a null check per round for untraced queries, so tracing N-in-M
 /// queries leaves the hot path unchanged.
+///
+/// Two optional hooks on the distance callable, detected at compile time so
+/// plain lambdas keep working unchanged:
+///  - `distance.ComputeBatch(ids, n, out)` — Stage 2 computes the whole
+///    candidate batch in one fused call (the warp-parallel bulk-distance
+///    stage of the paper) instead of a per-id loop. Must produce exactly
+///    the same values as `distance(id)`.
+///  - `distance.Prefetch(v)` — Stage 1 hints each accepted candidate's
+///    vector into cache while expansion continues, hiding the Stage 2
+///    gather latency (gated on options.enable_prefetch).
 template <typename DistanceFn>
 std::vector<Neighbor> SongSearchCore(const FixedDegreeGraph& graph,
                                      idx_t entry, size_t num_points,
@@ -223,8 +233,18 @@ std::vector<Neighbor> SongSearchCore(const FixedDegreeGraph& graph,
             break;
           }
         }
-        if (!duplicate) candidates.push_back(v);
+        if (!duplicate) {
+          candidates.push_back(v);
+          if constexpr (requires { distance.Prefetch(v); }) {
+            if (options.enable_prefetch) distance.Prefetch(v);
+          }
+        }
       }
+    }
+    // Hint the next frontier row one hop ahead: Stage 2/3 run long enough
+    // to cover the adjacency-row load of the next Stage 1 round.
+    if (options.enable_prefetch && !q.empty()) {
+      graph.PrefetchRow(q.Min().id);
     }
     if (terminate || candidates.empty()) {
       if (trace != nullptr) {
@@ -238,8 +258,16 @@ std::vector<Neighbor> SongSearchCore(const FixedDegreeGraph& graph,
 
     // ---- Stage 2: bulk distance computation. ----
     dists.resize(candidates.size());
-    for (size_t i = 0; i < candidates.size(); ++i) {
-      dists[i] = distance(candidates[i]);
+    if constexpr (requires {
+                    distance.ComputeBatch(candidates.data(),
+                                          candidates.size(), dists.data());
+                  }) {
+      distance.ComputeBatch(candidates.data(), candidates.size(),
+                            dists.data());
+    } else {
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        dists[i] = distance(candidates[i]);
+      }
     }
     local.distance_computations += candidates.size();
     local.data_bytes_loaded += candidates.size() * point_bytes;

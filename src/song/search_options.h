@@ -15,6 +15,29 @@
 
 namespace song {
 
+/// Vertex relabeling strategy applied to the graph + dataset before search
+/// (see graph/reorder.h). Improves locality of the Stage 2 gather: BFS
+/// relabeling places each vertex near its neighbors in memory, degree-
+/// descending packs the hub vertices that dominate traversals into the
+/// first (cache-resident) pages.
+enum class GraphReorder {
+  kNone = 0,
+  kBfs = 1,
+  kDegreeDescending = 2,
+};
+
+inline const char* GraphReorderName(GraphReorder r) {
+  switch (r) {
+    case GraphReorder::kNone:
+      return "none";
+    case GraphReorder::kBfs:
+      return "bfs";
+    case GraphReorder::kDegreeDescending:
+      return "degree";
+  }
+  return "unknown";
+}
+
 struct SongSearchOptions {
   /// Capacity of the bounded priority queues — the paper's searching
   /// parameter K / "priority queue size", swept to trade QPS for recall.
@@ -49,6 +72,18 @@ struct SongSearchOptions {
 
   /// Bloom filter bit budget; 0 = the paper's ~300 u32 (9600 bits).
   size_t bloom_bits = 0;
+
+  /// Software prefetching on the search hot path: candidate vectors are
+  /// hinted into cache as Stage 1 accepts them (hiding the Stage 2 gather
+  /// latency) and the next frontier vertex's adjacency row is hinted one
+  /// hop ahead. Purely a latency knob — results are identical either way.
+  bool enable_prefetch = true;
+
+  /// Graph reordering strategy this searcher's index was (or should be)
+  /// built with; recorded here so sweeps can report it. The transform
+  /// itself is applied by ReorderIndex (graph/reorder.h) — recall is
+  /// bit-identical since only vertex labels change.
+  GraphReorder reorder = GraphReorder::kNone;
 
   /// Presets matching the Fig 7 series names.
   static SongSearchOptions HashTable() { return SongSearchOptions{}; }

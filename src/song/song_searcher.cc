@@ -2,13 +2,45 @@
 
 namespace song {
 
+namespace {
+
+/// The distance callable handed to SongSearchCore for dense float search.
+/// Implements the core's optional hooks: ComputeBatch routes Stage 2
+/// through the fused SIMD gather kernel, Prefetch hints candidate vectors
+/// into cache during Stage 1 expansion. Per-row values are bit-identical to
+/// operator() (distance_kernels.h contract), so batching never changes
+/// results.
+struct DenseDistanceFn {
+  const BatchDistance* bd;
+  const Dataset* data;
+  const float* query;
+  float query_norm_sqr;
+
+  float operator()(idx_t v) const {
+    return bd->Compute(query, query_norm_sqr, v);
+  }
+  void ComputeBatch(const idx_t* ids, size_t n, float* out) const {
+    bd->ComputeBatch(query, query_norm_sqr, ids, n, out);
+  }
+  void Prefetch(idx_t v) const { data->PrefetchRow(v); }
+};
+
+}  // namespace
+
 SongSearcher::SongSearcher(const Dataset* data, const FixedDegreeGraph* graph,
                            Metric metric, idx_t entry)
-    : data_(data), graph_(graph), metric_(metric), entry_(entry) {
+    : data_(data), graph_(graph), metric_(metric), entry_(entry),
+      batch_dist_(metric, data) {
   SONG_CHECK(data != nullptr && graph != nullptr);
   SONG_CHECK_MSG(data->num() == graph->num_vertices(),
                  "dataset / graph size mismatch");
   SONG_CHECK(entry < data->num());
+}
+
+void SongSearcher::SetResultIdMap(std::vector<idx_t> new_to_old) {
+  SONG_CHECK_MSG(new_to_old.empty() || new_to_old.size() == data_->num(),
+                 "result id map size mismatch");
+  result_id_map_ = std::move(new_to_old);
 }
 
 std::vector<Neighbor> SongSearcher::Search(const float* query, size_t k,
@@ -24,13 +56,16 @@ std::vector<Neighbor> SongSearcher::Search(const float* query, size_t k,
                                            SearchStats* stats,
                                            obs::SearchTrace* trace) const {
   SONG_DCHECK(workspace != nullptr);
-  const DistanceFunc dist = GetDistanceFunc(metric_);
-  const size_t dim = data_->dim();
   const Dataset& data = *data_;
-  return SongSearchCore(
-      *graph_, entry_, data.num(), dim * sizeof(float),
-      [&](idx_t v) { return dist(query, data.Row(v), dim); }, k, options,
-      workspace, stats, trace);
+  const DenseDistanceFn distance{&batch_dist_, &data, query,
+                                 batch_dist_.QueryNormSqr(query)};
+  std::vector<Neighbor> result = SongSearchCore(
+      *graph_, entry_, data.num(), data.dim() * sizeof(float), distance, k,
+      options, workspace, stats, trace);
+  if (!result_id_map_.empty()) {
+    for (Neighbor& n : result) n.id = result_id_map_[n.id];
+  }
+  return result;
 }
 
 }  // namespace song

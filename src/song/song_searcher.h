@@ -49,16 +49,25 @@ class SongSearcher {
                                const SongSearchOptions& options,
                                SearchStats* stats = nullptr) const;
 
+  /// Installs a new-id -> old-id mapping applied to result ids at emit
+  /// time. Used with reordered indexes (graph/reorder.h): the searcher runs
+  /// over relabeled vertices but callers still see original dataset ids.
+  /// Pass an empty vector to clear. Size must equal data().num() otherwise.
+  void SetResultIdMap(std::vector<idx_t> new_to_old);
+
   const Dataset& data() const { return *data_; }
   const FixedDegreeGraph& graph() const { return *graph_; }
   Metric metric() const { return metric_; }
   idx_t entry() const { return entry_; }
+  const std::vector<idx_t>& result_id_map() const { return result_id_map_; }
 
  private:
   const Dataset* data_;
   const FixedDegreeGraph* graph_;
   Metric metric_;
   idx_t entry_;
+  BatchDistance batch_dist_;         ///< fused Stage 2 kernel + cached norms
+  std::vector<idx_t> result_id_map_; ///< new -> old, empty = identity
 };
 
 }  // namespace song

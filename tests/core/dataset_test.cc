@@ -34,6 +34,32 @@ TEST(Dataset, SetAndGetRow) {
   EXPECT_FLOAT_EQ(ds.Row(0)[0], 0.0f);  // untouched rows stay zero
 }
 
+TEST(Dataset, PaddedStrideIsNextMultipleOf16) {
+  EXPECT_EQ(Dataset::PaddedStride(1), 16u);
+  EXPECT_EQ(Dataset::PaddedStride(16), 16u);
+  EXPECT_EQ(Dataset::PaddedStride(17), 32u);
+  EXPECT_EQ(Dataset::PaddedStride(100), 112u);
+  EXPECT_EQ(Dataset::PaddedStride(960), 960u);
+  Dataset ds(2, 100);
+  EXPECT_EQ(ds.stride(), Dataset::PaddedStride(100));
+}
+
+TEST(Dataset, SetRowKeepsPaddedTailZero) {
+  Dataset ds(2, 5);  // stride 16 -> 11 pad floats per row
+  ASSERT_GT(ds.stride(), ds.dim());
+  // Dirty the pad region, then SetRow must restore the zero-pad invariant.
+  float* raw = ds.Row(0);
+  for (size_t i = ds.dim(); i < ds.stride(); ++i) raw[i] = 123.0f;
+  const float row[] = {1.0f, 2.0f, 3.0f, 4.0f, 5.0f};
+  ds.SetRow(0, row);
+  for (size_t i = 0; i < ds.dim(); ++i) {
+    EXPECT_FLOAT_EQ(ds.Row(0)[i], row[i]);
+  }
+  for (size_t i = ds.dim(); i < ds.stride(); ++i) {
+    EXPECT_EQ(ds.Row(0)[i], 0.0f) << "pad float " << i;
+  }
+}
+
 TEST(Dataset, FromFlatRoundTrip) {
   const std::vector<float> flat = {1, 2, 3, 4, 5, 6};
   auto ds = Dataset::FromFlat(flat, 2, 3);

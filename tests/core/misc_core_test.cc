@@ -193,5 +193,26 @@ TEST(ParallelFor, ThreadIdsWithinRange) {
   EXPECT_TRUE(ok);
 }
 
+TEST(ParallelFor, ExplicitChunkCoversEveryIndexExactlyOnce) {
+  const size_t n = 1003;  // not a multiple of the chunk
+  std::vector<std::atomic<int>> hits(n);
+  ParallelFor(n, 4, [&](size_t i, size_t) { hits[i].fetch_add(1); },
+              /*chunk=*/8);
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, ExplicitChunkRunsConsecutiveIndicesOnOneThread) {
+  // With chunk=8 each grab is a run of 8 consecutive indices, so indices
+  // 0..7 must all land on the same thread.
+  const size_t n = 64;
+  std::vector<int> owner(n, -1);
+  std::mutex mu;
+  ParallelFor(n, 4, [&](size_t i, size_t tid) {
+    std::lock_guard<std::mutex> lock(mu);
+    owner[i] = static_cast<int>(tid);
+  }, /*chunk=*/8);
+  for (size_t i = 1; i < 8; ++i) EXPECT_EQ(owner[i], owner[0]);
+}
+
 }  // namespace
 }  // namespace song

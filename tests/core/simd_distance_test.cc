@@ -1,0 +1,256 @@
+// Exactness tests for the tiered SIMD distance kernels: every metric at
+// every compiled tier against a double-precision oracle (including dims
+// that are not multiples of the vector width, exercising the scalar
+// tails), plus the bit-identity contracts of distance_kernels.h (batch ==
+// single within a tier, gather == range).
+
+#include <cmath>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dataset.h"
+#include "core/distance.h"
+#include "core/distance_kernels.h"
+#include "core/simd.h"
+
+namespace song {
+namespace {
+
+constexpr size_t kDims[] = {1,  2,  3,   7,   8,   15,  16,  17,  31, 32,
+                            33, 48, 100, 127, 128, 129, 200, 784, 960};
+
+std::vector<float> RandomVec(size_t dim, uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<float> d;
+  std::vector<float> v(dim);
+  for (float& x : v) x = d(rng);
+  return v;
+}
+
+double OracleL2(const float* a, const float* b, size_t dim) {
+  double s = 0.0;
+  for (size_t i = 0; i < dim; ++i) {
+    const double d = double{a[i]} - double{b[i]};
+    s += d * d;
+  }
+  return s;
+}
+
+double OracleDot(const float* a, const float* b, size_t dim) {
+  double s = 0.0;
+  for (size_t i = 0; i < dim; ++i) s += double{a[i]} * double{b[i]};
+  return s;
+}
+
+double OracleCosine(const float* a, const float* b, size_t dim) {
+  const double dot = OracleDot(a, b, dim);
+  const double na = OracleDot(a, a, dim);
+  const double nb = OracleDot(b, b, dim);
+  if (na <= 0.0 || nb <= 0.0) return 1.0;
+  return 1.0 - dot / std::sqrt(na * nb);
+}
+
+/// Float summation error grows with dim; scale the tolerance with the
+/// magnitude of the accumulated terms.
+double Tolerance(size_t dim, double magnitude) {
+  return 1e-5 * static_cast<double>(dim) * std::max(1.0, magnitude);
+}
+
+std::vector<SimdTier> CompiledTiers() {
+  std::vector<SimdTier> tiers;
+  for (const SimdTier t :
+       {SimdTier::kScalar, SimdTier::kAvx2, SimdTier::kAvx512}) {
+    if (SimdTierCompiled(t) && t <= CpuSimdTier()) tiers.push_back(t);
+  }
+  return tiers;
+}
+
+TEST(SimdDistanceTest, TierResolutionIsSane) {
+  // Scalar is always compiled and the active tier never exceeds the CPU.
+  EXPECT_TRUE(SimdTierCompiled(SimdTier::kScalar));
+  EXPECT_LE(ActiveSimdTier(), CpuSimdTier());
+  EXPECT_TRUE(SimdTierCompiled(ActiveSimdTier()));
+  EXPECT_STREQ(SimdTierName(SimdTier::kScalar), "scalar");
+  EXPECT_STREQ(SimdTierName(SimdTier::kAvx2), "avx2");
+  EXPECT_STREQ(SimdTierName(SimdTier::kAvx512), "avx512");
+}
+
+TEST(SimdDistanceTest, PairKernelsMatchDoubleOracleEveryTierEveryDim) {
+  for (const SimdTier tier : CompiledTiers()) {
+    const internal::DistanceKernelTable& table =
+        internal::KernelTableForTier(tier);
+    for (const size_t dim : kDims) {
+      const auto a = RandomVec(dim, static_cast<uint32_t>(dim) * 2 + 1);
+      const auto b = RandomVec(dim, static_cast<uint32_t>(dim) * 2 + 2);
+      const double l2 = OracleL2(a.data(), b.data(), dim);
+      const double dot = OracleDot(a.data(), b.data(), dim);
+      const double cos = OracleCosine(a.data(), b.data(), dim);
+      SCOPED_TRACE(testing::Message()
+                   << "tier=" << SimdTierName(tier) << " dim=" << dim);
+      EXPECT_NEAR(table.l2(a.data(), b.data(), dim), l2,
+                  Tolerance(dim, std::abs(l2)));
+      EXPECT_NEAR(table.dot(a.data(), b.data(), dim), dot,
+                  Tolerance(dim, std::abs(dot)));
+      EXPECT_NEAR(table.ip(a.data(), b.data(), dim), -dot,
+                  Tolerance(dim, std::abs(dot)));
+      EXPECT_NEAR(table.cosine(a.data(), b.data(), dim), cos,
+                  Tolerance(dim, 1.0));
+    }
+  }
+}
+
+TEST(SimdDistanceTest, BatchIsBitIdenticalToSingleWithinEachTier) {
+  constexpr size_t kRows = 37;  // not a multiple of the 4-row unroll
+  for (const SimdTier tier : CompiledTiers()) {
+    const internal::DistanceKernelTable& table =
+        internal::KernelTableForTier(tier);
+    for (const size_t dim : kDims) {
+      Dataset data(kRows, dim);
+      std::mt19937 rng(static_cast<uint32_t>(dim) * 31 + 7);
+      std::normal_distribution<float> nd;
+      std::vector<float> row(dim);
+      for (size_t i = 0; i < kRows; ++i) {
+        for (float& x : row) x = nd(rng);
+        data.SetRow(static_cast<idx_t>(i), row.data());
+      }
+      const auto query = RandomVec(dim, 4242);
+      std::vector<idx_t> ids;
+      for (size_t i = 0; i < kRows; ++i) {
+        ids.push_back(static_cast<idx_t>((i * 13) % kRows));
+      }
+      std::vector<float> batch(kRows);
+      SCOPED_TRACE(testing::Message()
+                   << "tier=" << SimdTierName(tier) << " dim=" << dim);
+      table.l2_gather(query.data(), data.Row(0), data.stride(), dim,
+                      ids.data(), ids.size(), batch.data());
+      for (size_t i = 0; i < kRows; ++i) {
+        const float single = table.l2(query.data(), data.Row(ids[i]), dim);
+        EXPECT_EQ(batch[i], single) << "l2 row " << i;  // bit-identical
+      }
+      table.dot_gather(query.data(), data.Row(0), data.stride(), dim,
+                       ids.data(), ids.size(), batch.data());
+      for (size_t i = 0; i < kRows; ++i) {
+        const float single = table.dot(query.data(), data.Row(ids[i]), dim);
+        EXPECT_EQ(batch[i], single) << "dot row " << i;
+      }
+    }
+  }
+}
+
+TEST(SimdDistanceTest, GatherAndRangeAgreeOnIdentityIds) {
+  constexpr size_t kRows = 21;
+  constexpr size_t kDim = 129;
+  for (const SimdTier tier : CompiledTiers()) {
+    const internal::DistanceKernelTable& table =
+        internal::KernelTableForTier(tier);
+    Dataset data(kRows, kDim);
+    std::mt19937 rng(5);
+    std::normal_distribution<float> nd;
+    std::vector<float> row(kDim);
+    for (size_t i = 0; i < kRows; ++i) {
+      for (float& x : row) x = nd(rng);
+      data.SetRow(static_cast<idx_t>(i), row.data());
+    }
+    const auto query = RandomVec(kDim, 6);
+    std::vector<idx_t> ids(kRows);
+    for (size_t i = 0; i < kRows; ++i) ids[i] = static_cast<idx_t>(i);
+    std::vector<float> gather(kRows), range(kRows);
+    table.l2_gather(query.data(), data.Row(0), data.stride(), kDim, ids.data(),
+                    kRows, gather.data());
+    table.l2_range(query.data(), data.Row(0), data.stride(), kDim, 0, kRows,
+                   range.data());
+    for (size_t i = 0; i < kRows; ++i) {
+      EXPECT_EQ(gather[i], range[i]) << SimdTierName(tier) << " row " << i;
+    }
+  }
+}
+
+TEST(SimdDistanceTest, BatchDistanceMatchesPairwiseKernels) {
+  constexpr size_t kRows = 50;
+  for (const Metric metric :
+       {Metric::kL2, Metric::kInnerProduct, Metric::kCosine}) {
+    for (const size_t dim : {7u, 100u, 129u}) {
+      Dataset data(kRows, dim);
+      std::mt19937 rng(static_cast<uint32_t>(dim));
+      std::normal_distribution<float> nd;
+      std::vector<float> row(dim);
+      for (size_t i = 0; i < kRows; ++i) {
+        for (float& x : row) x = nd(rng);
+        data.SetRow(static_cast<idx_t>(i), row.data());
+      }
+      const auto query = RandomVec(dim, 77);
+      const BatchDistance bd(metric, &data);
+      const float qn = bd.QueryNormSqr(query.data());
+      const DistanceFunc pairwise = GetDistanceFunc(metric);
+
+      std::vector<idx_t> ids(kRows);
+      for (size_t i = 0; i < kRows; ++i) ids[i] = static_cast<idx_t>(i);
+      std::vector<float> batch(kRows), range(kRows);
+      bd.ComputeBatch(query.data(), qn, ids.data(), kRows, batch.data());
+      bd.ComputeRange(query.data(), qn, 0, kRows, range.data());
+      for (size_t i = 0; i < kRows; ++i) {
+        SCOPED_TRACE(testing::Message() << "metric=" << MetricName(metric)
+                                        << " dim=" << dim << " row=" << i);
+        const float expect =
+            pairwise(query.data(), data.Row(static_cast<idx_t>(i)), dim);
+        // Cosine combines cached norms in a different association than the
+        // pairwise kernel's in-line norms; allow a few float ulps there.
+        if (metric == Metric::kCosine) {
+          EXPECT_NEAR(batch[i], expect, 1e-6);
+          EXPECT_NEAR(range[i], expect, 1e-6);
+        } else {
+          EXPECT_EQ(batch[i], expect);
+          EXPECT_EQ(range[i], expect);
+        }
+        EXPECT_EQ(bd.Compute(query.data(), qn, static_cast<idx_t>(i)),
+                  batch[i]);
+      }
+    }
+  }
+}
+
+TEST(SimdDistanceTest, CosineBatchHandlesZeroRowsAndZeroQuery) {
+  constexpr size_t kDim = 33;
+  Dataset data(3, kDim);
+  std::vector<float> row(kDim, 0.0f);
+  data.SetRow(0, row.data());  // zero row
+  row.assign(kDim, 1.0f);
+  data.SetRow(1, row.data());
+  row.assign(kDim, -2.0f);
+  data.SetRow(2, row.data());
+  const BatchDistance bd(Metric::kCosine, &data);
+
+  const std::vector<float> query(kDim, 1.0f);
+  const std::vector<idx_t> ids = {0, 1, 2};
+  std::vector<float> out(3);
+  bd.ComputeBatch(query.data(), bd.QueryNormSqr(query.data()), ids.data(), 3,
+                  out.data());
+  EXPECT_FLOAT_EQ(out[0], 1.0f);   // zero row -> neutral distance
+  EXPECT_NEAR(out[1], 0.0f, 1e-6);  // parallel
+  EXPECT_NEAR(out[2], 2.0f, 1e-6);  // anti-parallel
+
+  const std::vector<float> zero_query(kDim, 0.0f);
+  bd.ComputeBatch(zero_query.data(), bd.QueryNormSqr(zero_query.data()),
+                  ids.data(), 3, out.data());
+  for (const float v : out) EXPECT_FLOAT_EQ(v, 1.0f);
+}
+
+TEST(SimdDistanceTest, NamedEntryPointsUseActiveTier) {
+  const internal::DistanceKernelTable& active =
+      internal::KernelTableForTier(ActiveSimdTier());
+  const size_t dim = 100;
+  const auto a = RandomVec(dim, 8);
+  const auto b = RandomVec(dim, 9);
+  EXPECT_EQ(L2Sqr(a.data(), b.data(), dim), active.l2(a.data(), b.data(), dim));
+  EXPECT_EQ(InnerProduct(a.data(), b.data(), dim),
+            active.ip(a.data(), b.data(), dim));
+  EXPECT_EQ(CosineDistance(a.data(), b.data(), dim),
+            active.cosine(a.data(), b.data(), dim));
+  EXPECT_EQ(GetDistanceFuncForTier(Metric::kL2, ActiveSimdTier()), active.l2);
+}
+
+}  // namespace
+}  // namespace song

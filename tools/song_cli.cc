@@ -10,9 +10,11 @@
 //   song_cli search   --data data.sngd --graph graph.sngg
 //                     --queries queries.sngd [--k 10] [--queue 64]
 //                     [--config hashtable|sel|seldel|bloom|cuckoo]
+//                     [--reorder none|bfs|degree]
 //                     [--gt gt.sngd] [--gpu v100|p40|titanx]
 //                     [--metrics out.prom] [--metrics-json out.json]
 //                     [--trace out.trace.json] [--trace-sample 100]
+//   song_cli version  (build info: SIMD tiers detected/compiled/active)
 //
 // Telemetry: --metrics / --metrics-json dump the batch's MetricsRegistry in
 // Prometheus text / JSON. --trace writes sampled per-query Chrome trace_event
@@ -30,11 +32,13 @@
 
 #include "baselines/flat_index.h"
 #include "core/recall.h"
+#include "core/simd.h"
 #include "core/timer.h"
 #include "data/synthetic.h"
 #include "gpusim/simulator.h"
 #include "graph/graph_stats.h"
 #include "graph/nsw_builder.h"
+#include "graph/reorder.h"
 #include "obs/exporters.h"
 #include "song/song_searcher.h"
 
@@ -202,15 +206,23 @@ int CmdGroundTruth(const Flags& flags) {
   return 0;
 }
 
+GraphReorder ParseReorder(const std::string& name) {
+  if (name == "none") return GraphReorder::kNone;
+  if (name == "bfs") return GraphReorder::kBfs;
+  if (name == "degree") return GraphReorder::kDegreeDescending;
+  std::fprintf(stderr, "unknown reorder strategy: %s\n", name.c_str());
+  std::exit(2);
+}
+
 int CmdSearch(const Flags& flags) {
-  const Dataset data = LoadDatasetOrDie(Require(flags, "data"));
+  Dataset data = LoadDatasetOrDie(Require(flags, "data"));
   const Dataset queries = LoadDatasetOrDie(Require(flags, "queries"));
   auto graph_loaded = FixedDegreeGraph::Load(Require(flags, "graph"));
   if (!graph_loaded.ok()) {
     std::fprintf(stderr, "%s\n", graph_loaded.status().ToString().c_str());
     return 1;
   }
-  const FixedDegreeGraph graph = std::move(graph_loaded.value());
+  FixedDegreeGraph graph = std::move(graph_loaded.value());
   const Metric metric = ParseMetric(Optional(flags, "metric", "l2"));
   const size_t k = std::strtoul(Optional(flags, "k", "10").c_str(), nullptr,
                                 10);
@@ -218,8 +230,26 @@ int CmdSearch(const Flags& flags) {
       ParseConfig(Optional(flags, "config", "seldel"));
   options.queue_size = std::strtoul(Optional(flags, "queue", "64").c_str(),
                                     nullptr, 10);
+  options.reorder = ParseReorder(Optional(flags, "reorder", "none"));
 
-  SongSearcher searcher(&data, &graph, metric);
+  idx_t entry = 0;
+  std::vector<idx_t> result_id_map;
+  if (options.reorder != GraphReorder::kNone) {
+    Timer reorder_timer;
+    ReorderedIndex reordered =
+        ReorderIndex(data, graph, options.reorder, entry);
+    data = std::move(reordered.data);
+    graph = std::move(reordered.graph);
+    entry = reordered.entry;
+    result_id_map = std::move(reordered.perm.new_to_old);
+    std::printf("reordered index (%s) in %.2fs\n",
+                GraphReorderName(options.reorder),
+                reorder_timer.ElapsedSeconds());
+  }
+
+  SongSearcher searcher(&data, &graph, metric, entry);
+  searcher.SetResultIdMap(std::move(result_id_map));
+  std::printf("simd tier: %s\n", SimdTierName(ActiveSimdTier()));
   const GpuSpec gpu = ParseGpu(Optional(flags, "gpu", "v100"));
 
   const std::string metrics_path = Optional(flags, "metrics", "");
@@ -305,9 +335,25 @@ int CmdSearch(const Flags& flags) {
   return status;
 }
 
+int CmdVersion() {
+  std::printf("song_cli (SONG reproduction)\n");
+  std::printf("cpu simd:      %s\n", SimdTierName(CpuSimdTier()));
+  std::printf("compiled tiers:");
+  for (const SimdTier tier :
+       {SimdTier::kScalar, SimdTier::kAvx2, SimdTier::kAvx512}) {
+    if (SimdTierCompiled(tier)) std::printf(" %s", SimdTierName(tier));
+  }
+  std::printf("\n");
+  std::printf("active tier:   %s", SimdTierName(ActiveSimdTier()));
+  const char* env = std::getenv("SONG_SIMD");
+  if (env != nullptr) std::printf(" (SONG_SIMD=%s)", env);
+  std::printf("\n");
+  return 0;
+}
+
 void Usage() {
   std::fprintf(stderr,
-               "usage: song_cli <gen|build|stats|gt|search> [--flags]\n"
+               "usage: song_cli <gen|build|stats|gt|search|version> [--flags]\n"
                "see the header comment of tools/song_cli.cc\n");
 }
 
@@ -325,6 +371,7 @@ int main(int argc, char** argv) {
   if (cmd == "stats") return CmdStats(flags);
   if (cmd == "gt") return CmdGroundTruth(flags);
   if (cmd == "search") return CmdSearch(flags);
+  if (cmd == "version") return CmdVersion();
   Usage();
   return 2;
 }
