@@ -4,10 +4,22 @@
 #include <cstdio>
 #include <cstring>
 
+#include "core/fault_injection.h"
+
 namespace song {
 
 namespace {
 constexpr char kMagic[4] = {'S', 'N', 'G', 'D'};
+
+/// Remaining bytes from the current position to EOF, or -1 on seek failure.
+long RemainingBytes(std::FILE* f) {
+  const long pos = std::ftell(f);
+  if (pos < 0 || std::fseek(f, 0, SEEK_END) != 0) return -1;
+  const long end = std::ftell(f);
+  if (end < 0 || std::fseek(f, pos, SEEK_SET) != 0) return -1;
+  return end - pos;
+}
+
 }  // namespace
 
 Dataset::Dataset(size_t num, size_t dim)
@@ -47,6 +59,9 @@ void Dataset::NormalizeRows() {
 }
 
 Status Dataset::Save(const std::string& path) const {
+  if (fault::ShouldFail("io.write")) {
+    return Status::Unavailable("injected fault: io.write " + path);
+  }
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::IOError("cannot open for write: " + path);
   bool ok = std::fwrite(kMagic, 1, 4, f) == 4;
@@ -64,6 +79,9 @@ Status Dataset::Save(const std::string& path) const {
 }
 
 StatusOr<Dataset> Dataset::Load(const std::string& path) {
+  if (fault::ShouldFail("io.read")) {
+    return Status::Unavailable("injected fault: io.read " + path);
+  }
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IOError("cannot open for read: " + path);
   char magic[4];
@@ -75,7 +93,23 @@ StatusOr<Dataset> Dataset::Load(const std::string& path) {
   ok = ok && std::fread(&num64, sizeof(num64), 1, f) == 1;
   if (!ok) {
     std::fclose(f);
-    return Status::IOError("bad header: " + path);
+    return Status::DataLoss("bad header: " + path);
+  }
+  if (dim32 == 0) {
+    std::fclose(f);
+    return Status::DataLoss("zero dim in header: " + path);
+  }
+  // The payload size must match the header's claim exactly — this rejects
+  // truncated files and corrupt headers BEFORE the (potentially enormous)
+  // allocation a hostile num/dim would request.
+  const long remaining = RemainingBytes(f);
+  const uint64_t payload = num64 * uint64_t{dim32} * sizeof(float);
+  if (remaining < 0 || num64 > (uint64_t{1} << 40) ||
+      payload / sizeof(float) / dim32 != num64 ||
+      static_cast<uint64_t>(remaining) != payload) {
+    std::fclose(f);
+    return Status::DataLoss("payload size mismatch (truncated or corrupt): " +
+                            path);
   }
   Dataset ds(static_cast<size_t>(num64), dim32);
   std::vector<float> row(dim32);
@@ -84,7 +118,7 @@ StatusOr<Dataset> Dataset::Load(const std::string& path) {
     if (ok) ds.SetRow(static_cast<idx_t>(i), row.data());
   }
   std::fclose(f);
-  if (!ok) return Status::IOError("short read: " + path);
+  if (!ok) return Status::DataLoss("short read: " + path);
   return ds;
 }
 

@@ -1,0 +1,198 @@
+#include "core/fault_injection.h"
+
+#include <cstdlib>
+
+#include "core/logging.h"
+
+namespace song::fault {
+
+namespace {
+
+// splitmix64: the decision function must be a bijective scramble of its
+// input so per-site sequences are independent and uniform.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashSite(std::string_view site) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (const char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Uniform double in [0, 1) from (seed, site, attempt).
+double Draw(uint64_t seed, std::string_view site, uint64_t attempt) {
+  const uint64_t bits = Mix64(seed ^ Mix64(HashSite(site) + attempt));
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+Status ParseRule(std::string_view entry, FaultRule* rule) {
+  const size_t eq = entry.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    return Status::InvalidArgument("fault spec entry missing 'site=prob': " +
+                                   std::string(entry));
+  }
+  rule->pattern = std::string(entry.substr(0, eq));
+  if (rule->pattern.find('*') != rule->pattern.rfind('*')) {
+    return Status::InvalidArgument("fault pattern has more than one '*': " +
+                                   rule->pattern);
+  }
+  std::string value(entry.substr(eq + 1));
+  rule->max_failures = ~0ull;
+  const size_t at = value.find('@');
+  if (at != std::string::npos) {
+    const std::string cap = value.substr(at + 1);
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(cap.c_str(), &end, 10);
+    if (cap.empty() || end == nullptr || *end != '\0') {
+      return Status::InvalidArgument("bad fault '@max' count: " +
+                                     std::string(entry));
+    }
+    rule->max_failures = n;
+    value.resize(at);
+  }
+  char* end = nullptr;
+  rule->probability = std::strtod(value.c_str(), &end);
+  if (value.empty() || end == nullptr || *end != '\0' ||
+      rule->probability < 0.0 || rule->probability > 1.0) {
+    return Status::InvalidArgument(
+        "fault probability must be a number in [0, 1]: " + std::string(entry));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+bool PatternMatches(std::string_view pattern, std::string_view site) {
+  const size_t star = pattern.find('*');
+  if (star == std::string_view::npos) return pattern == site;
+  const std::string_view prefix = pattern.substr(0, star);
+  const std::string_view suffix = pattern.substr(star + 1);
+  if (site.size() < prefix.size() + suffix.size()) return false;
+  return site.substr(0, prefix.size()) == prefix &&
+         site.substr(site.size() - suffix.size()) == suffix;
+}
+
+Status FaultRegistry::Configure(std::string_view spec, uint64_t seed) {
+  std::vector<FaultRule> rules;
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const size_t comma = rest.find(',');
+    const std::string_view entry = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    if (entry.empty()) continue;
+    FaultRule rule;
+    SONG_RETURN_IF_ERROR(ParseRule(entry, &rule));
+    rules.push_back(std::move(rule));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_ = std::move(rules);
+  spec_ = std::string(spec);
+  seed_ = seed;
+  sites_.clear();
+  injected_total_.store(0, std::memory_order_relaxed);
+  enabled_.store(!rules_.empty(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void FaultRegistry::Disable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_.store(false, std::memory_order_relaxed);
+  rules_.clear();
+  spec_.clear();
+  sites_.clear();
+  injected_total_.store(0, std::memory_order_relaxed);
+}
+
+bool FaultRegistry::ShouldFail(std::string_view site) {
+  if (!enabled()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  const FaultRule* match = nullptr;
+  for (const FaultRule& rule : rules_) {
+    if (PatternMatches(rule.pattern, site)) {
+      match = &rule;
+      break;
+    }
+  }
+  if (match == nullptr) return false;
+  auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    it = sites_.emplace(std::string(site), SiteState{}).first;
+  }
+  SiteState& state = it->second;
+  const uint64_t attempt = state.attempts++;
+  if (state.failures >= match->max_failures) return false;
+  const bool fail = match->probability >= 1.0 ||
+                    Draw(seed_, site, attempt) < match->probability;
+  if (fail) {
+    ++state.failures;
+    injected_total_.fetch_add(1, std::memory_order_relaxed);
+    SONG_VLOG(1) << "fault injected at site '" << std::string(site)
+                 << "' (attempt " << attempt << ")";
+  }
+  return fail;
+}
+
+std::vector<std::pair<std::string, uint64_t>> FaultRegistry::InjectedCounts()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(sites_.size());
+  for (const auto& [site, state] : sites_) {
+    out.emplace_back(site, state.failures);
+  }
+  return out;
+}
+
+FaultRegistry& FaultRegistry::Global() {
+  static FaultRegistry* registry = [] {
+    auto* reg = new FaultRegistry();
+    const char* spec = std::getenv("SONG_FAULT_SPEC");
+    if (spec != nullptr && *spec != '\0') {
+      uint64_t seed = 0x534f4e47;  // "SONG"
+      const char* seed_env = std::getenv("SONG_FAULT_SEED");
+      if (seed_env != nullptr && *seed_env != '\0') {
+        seed = std::strtoull(seed_env, nullptr, 0);
+      }
+      const Status s = reg->Configure(spec, seed);
+      if (!s.ok()) {
+        SONG_LOG(WARN) << "ignoring malformed SONG_FAULT_SPEC: "
+                       << s.ToString();
+        reg->Disable();
+      } else {
+        SONG_LOG(WARN) << "fault injection armed from SONG_FAULT_SPEC='"
+                       << spec << "' seed=" << seed;
+      }
+    }
+    return reg;
+  }();
+  return *registry;
+}
+
+ScopedFaultSpec::ScopedFaultSpec(std::string_view spec, uint64_t seed) {
+  FaultRegistry& reg = FaultRegistry::Global();
+  was_enabled_ = reg.enabled();
+  prev_spec_ = reg.spec();
+  prev_seed_ = reg.seed();
+  status_ = reg.Configure(spec, seed);
+  if (!status_.ok()) reg.Disable();
+}
+
+ScopedFaultSpec::~ScopedFaultSpec() {
+  FaultRegistry& reg = FaultRegistry::Global();
+  if (was_enabled_) {
+    // Restore errors are impossible: the previous spec parsed once already.
+    (void)reg.Configure(prev_spec_, prev_seed_);
+  } else {
+    reg.Disable();
+  }
+}
+
+}  // namespace song::fault

@@ -23,6 +23,10 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  kDataLoss,           ///< unrecoverable corruption (truncated/mutated file)
+  kResourceExhausted,  ///< capacity/admission limit hit; retry later or shed
+  kDeadlineExceeded,   ///< per-query budget expired before completion
+  kUnavailable,        ///< transient failure (shard/transfer); safe to retry
 };
 
 /// Lightweight status object. OK carries no allocation.
@@ -52,6 +56,18 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -62,26 +78,13 @@ class Status {
     return std::string(CodeName(code_)) + ": " + message_;
   }
 
-  static const char* CodeName(StatusCode code) {
-    switch (code) {
-      case StatusCode::kOk:
-        return "OK";
-      case StatusCode::kInvalidArgument:
-        return "InvalidArgument";
-      case StatusCode::kNotFound:
-        return "NotFound";
-      case StatusCode::kIOError:
-        return "IOError";
-      case StatusCode::kFailedPrecondition:
-        return "FailedPrecondition";
-      case StatusCode::kOutOfRange:
-        return "OutOfRange";
-      case StatusCode::kUnimplemented:
-        return "Unimplemented";
-      case StatusCode::kInternal:
-        return "Internal";
-    }
-    return "Unknown";
+  static const char* CodeName(StatusCode code);
+
+  /// Suggested process exit code for CLI front ends: 0 for OK, 2 for
+  /// caller mistakes (InvalidArgument), 1 for everything else.
+  int ExitCode() const {
+    if (ok()) return 0;
+    return code_ == StatusCode::kInvalidArgument ? 2 : 1;
   }
 
  private:

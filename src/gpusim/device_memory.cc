@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "core/fault_injection.h"
 #include "core/types.h"
 
 namespace song {
@@ -49,6 +50,31 @@ MemoryPlan PlanDeployment(const DeploymentShape& shape, const GpuSpec& spec) {
       plan.shards_needed = shards;
       break;
     }
+  }
+  return plan;
+}
+
+StatusOr<MemoryPlan> TryPlanDeployment(const DeploymentShape& shape,
+                                       const GpuSpec& spec) {
+  if (shape.num_points == 0) {
+    return Status::InvalidArgument("deployment has no points");
+  }
+  if (shape.dim == 0) {
+    return Status::InvalidArgument("deployment dim must be >= 1");
+  }
+  if (shape.num_points > (size_t{1} << 40) || shape.dim > (size_t{1} << 20)) {
+    return Status::InvalidArgument(
+        "implausible deployment shape: " + std::to_string(shape.num_points) +
+        " points x dim " + std::to_string(shape.dim));
+  }
+  if (fault::ShouldFail("device.alloc")) {
+    return Status::ResourceExhausted(
+        "injected fault: device.alloc (device memory reservation)");
+  }
+  MemoryPlan plan = PlanDeployment(shape, spec);
+  if (!plan.fits) {
+    return Status::ResourceExhausted("deployment does not fit " + spec.name +
+                                     ": " + plan.ToString());
   }
   return plan;
 }

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "core/status.h"
 #include "gpusim/gpu_spec.h"
 
 namespace song {
@@ -59,6 +60,14 @@ struct MemoryPlan {
 /// Plans a full-precision deployment on `spec`; when it does not fit,
 /// fills in the hashing / sharding remedies.
 MemoryPlan PlanDeployment(const DeploymentShape& shape, const GpuSpec& spec);
+
+/// Checked planning for serving paths: validates the shape, passes the
+/// deterministic `device.alloc` fault site (core/fault_injection.h), and
+/// turns a non-fitting full-precision plan into kResourceExhausted whose
+/// message carries the hashing/sharding remedies. Callers that want the
+/// plan even when it does not fit should use PlanDeployment directly.
+StatusOr<MemoryPlan> TryPlanDeployment(const DeploymentShape& shape,
+                                       const GpuSpec& spec);
 
 }  // namespace song
 

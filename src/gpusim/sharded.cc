@@ -1,8 +1,13 @@
 #include "gpusim/sharded.h"
 
 #include <algorithm>
+#include <chrono>
 #include <queue>
+#include <string>
+#include <thread>
+#include <utility>
 
+#include "core/fault_injection.h"
 #include "core/logging.h"
 #include "core/thread_pool.h"
 #include "core/timer.h"
@@ -42,32 +47,134 @@ ShardedSongIndex::ShardedSongIndex(const Dataset* data, Metric metric,
 ShardedSearchResult ShardedSongIndex::Search(
     const Dataset& queries, size_t k, const SongSearchOptions& options,
     size_t num_threads) const {
+  StatusOr<ShardedSearchResult> result =
+      TrySearch(queries, k, options, ShardedResilienceOptions{}, num_threads);
+  if (!result.ok()) {
+    SONG_LOG(WARN) << "sharded search failed: "
+                   << result.status().ToString();
+    ShardedSearchResult empty;
+    empty.results.resize(queries.num());
+    empty.shard_stats.resize(shards_.size());
+    empty.shards_total = shards_.size();
+    empty.shard_ok.assign(shards_.size(), 0);
+    empty.shard_retries.assign(shards_.size(), 0);
+    empty.degraded = true;
+    return empty;
+  }
+  return std::move(result).value();
+}
+
+Status ShardedSongIndex::SearchOneShard(
+    size_t s, const Dataset& queries, size_t k,
+    const SongSearchOptions& options, size_t num_threads,
+    std::vector<std::vector<Neighbor>>* results, SearchStats* stats) const {
+  const std::string prefix = "shard" + std::to_string(s) + ".";
+  if (fault::ShouldFail(prefix + "htod")) {
+    return Status::Unavailable("injected fault: " + prefix +
+                               "htod (query upload)");
+  }
+  if (fault::ShouldFail(prefix + "kernel")) {
+    return Status::Unavailable("injected fault: " + prefix + "kernel");
+  }
+
+  results->assign(queries.num(), {});
+  std::vector<SongWorkspace> workspaces(
+      std::max<size_t>(1, num_threads == 0 ? 1 : num_threads));
+  std::vector<SearchStats> thread_stats(workspaces.size());
+  ParallelFor(queries.num(), workspaces.size(), [&](size_t q, size_t t) {
+    (*results)[q] = shards_[s]->searcher->Search(
+        queries.Row(static_cast<idx_t>(q)), k, options, &workspaces[t],
+        &thread_stats[t]);
+  });
+
+  if (fault::ShouldFail(prefix + "dtoh")) {
+    return Status::Unavailable("injected fault: " + prefix +
+                               "dtoh (result download)");
+  }
+  // Publish counters only for the attempt that succeeded, so a search that
+  // was retried contributes each unit of work exactly once.
+  *stats = SearchStats{};
+  for (const SearchStats& ts : thread_stats) stats->Add(ts);
+  return Status::OK();
+}
+
+StatusOr<ShardedSearchResult> ShardedSongIndex::TrySearch(
+    const Dataset& queries, size_t k, const SongSearchOptions& options,
+    const ShardedResilienceOptions& resilience, size_t num_threads) const {
+  if (queries.dim() != full_data_->dim()) {
+    return Status::InvalidArgument(
+        "query dim " + std::to_string(queries.dim()) +
+        " does not match index dim " + std::to_string(full_data_->dim()));
+  }
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+
   ShardedSearchResult out;
   out.results.resize(queries.num());
   out.shard_stats.resize(shards_.size());
+  out.shards_total = shards_.size();
+  out.shard_ok.assign(shards_.size(), 0);
+  out.shard_retries.assign(shards_.size(), 0);
 
   // Per-shard candidate lists, merged per query afterwards.
   std::vector<std::vector<std::vector<Neighbor>>> shard_results(
       shards_.size());
+  Status last_error;
   Timer timer;
   for (size_t s = 0; s < shards_.size(); ++s) {
-    shard_results[s].resize(queries.num());
-    SearchStats& stats = out.shard_stats[s];
-    std::vector<SongWorkspace> workspaces(
-        std::max<size_t>(1, num_threads == 0 ? 1 : num_threads));
-    std::vector<SearchStats> thread_stats(workspaces.size());
-    ParallelFor(queries.num(), workspaces.size(), [&](size_t q, size_t t) {
-      shard_results[s][q] = shards_[s]->searcher->Search(
-          queries.Row(static_cast<idx_t>(q)), k, options, &workspaces[t],
-          &thread_stats[t]);
-    });
-    for (const SearchStats& ts : thread_stats) stats.Add(ts);
+    Status shard_status;
+    for (size_t attempt = 0; attempt <= resilience.max_retries; ++attempt) {
+      if (attempt > 0) {
+        ++out.shard_retries[s];
+        if (resilience.registry != nullptr) {
+          resilience.registry->GetCounter("song.shard.retries").Increment();
+        }
+        if (resilience.backoff_us > 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(
+              resilience.backoff_us << (attempt - 1)));
+        }
+      }
+      shard_status = SearchOneShard(s, queries, k, options, num_threads,
+                                    &shard_results[s], &out.shard_stats[s]);
+      if (shard_status.ok()) break;
+      SONG_LOG(WARN) << "shard " << s << " attempt " << (attempt + 1)
+                     << " failed: " << shard_status.ToString();
+    }
+    if (shard_status.ok()) {
+      out.shard_ok[s] = 1;
+      ++out.shards_answered;
+    } else {
+      last_error = shard_status;
+      shard_results[s].clear();
+      out.shard_stats[s] = SearchStats{};
+      if (resilience.registry != nullptr) {
+        resilience.registry->GetCounter("song.shard.failures").Increment();
+      }
+      if (!resilience.allow_partial) {
+        return Status::Unavailable(
+            "shard " + std::to_string(s) + " failed after " +
+            std::to_string(resilience.max_retries + 1) +
+            " attempts (partial results disabled): " + shard_status.message());
+      }
+    }
   }
 
-  // k-way merge with global id translation.
+  if (out.shards_answered == 0) {
+    return Status::Unavailable(
+        "all " + std::to_string(out.shards_total) +
+        " shards failed; last error: " + last_error.ToString());
+  }
+  out.degraded = out.shards_answered < out.shards_total;
+  if (out.degraded && resilience.registry != nullptr) {
+    // Every query's ranked list is drawn from a subset of the data.
+    resilience.registry->GetCounter("song.search.degraded")
+        .Increment(queries.num());
+  }
+
+  // k-way merge with global id translation over the surviving shards.
   for (size_t q = 0; q < queries.num(); ++q) {
     std::vector<Neighbor> merged;
     for (size_t s = 0; s < shards_.size(); ++s) {
+      if (!out.shard_ok[s]) continue;
       for (const Neighbor& n : shard_results[s][q]) {
         merged.emplace_back(n.dist, shards_[s]->global_ids[n.id]);
       }

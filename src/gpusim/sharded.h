@@ -12,15 +12,18 @@
 #ifndef SONG_GPUSIM_SHARDED_H_
 #define SONG_GPUSIM_SHARDED_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "core/dataset.h"
 #include "core/distance.h"
+#include "core/status.h"
 #include "gpusim/cost_model.h"
 #include "gpusim/gpu_spec.h"
 #include "graph/fixed_degree_graph.h"
 #include "graph/nsw_builder.h"
+#include "obs/metrics.h"
 #include "song/search_options.h"
 #include "song/song_searcher.h"
 
@@ -32,12 +35,40 @@ struct ShardedBuildOptions {
   size_t num_threads = 0;
 };
 
+/// Fault tolerance policy for TrySearch. A failed shard attempt (injected
+/// or real) is retried up to `max_retries` times with exponential backoff;
+/// a shard that exhausts its retries is dropped from the merge when
+/// `allow_partial` is set, so the caller still gets ranked results from the
+/// surviving cards plus a coverage fraction.
+struct ShardedResilienceOptions {
+  size_t max_retries = 2;      ///< extra attempts after the first failure
+  uint64_t backoff_us = 0;     ///< initial backoff; doubles per retry. 0 = none
+  bool allow_partial = true;   ///< merge surviving shards instead of failing
+  obs::MetricsRegistry* registry = nullptr;  ///< optional metric sink
+};
+
 struct ShardedSearchResult {
   /// Merged global-id results per query.
   std::vector<std::vector<Neighbor>> results;
-  /// Per-shard aggregate counters.
+  /// Per-shard aggregate counters (zeroed for shards that never succeeded).
   std::vector<SearchStats> shard_stats;
   double wall_seconds = 0.0;
+  /// Fault-tolerance accounting (TrySearch; Search leaves the defaults).
+  size_t shards_total = 0;
+  size_t shards_answered = 0;
+  std::vector<uint8_t> shard_ok;        ///< 1 = shard contributed results
+  std::vector<uint32_t> shard_retries;  ///< extra attempts per shard
+  /// Set when at least one shard was dropped: results are ranked but drawn
+  /// from a subset of the data (recall floor = surviving fraction).
+  bool degraded = false;
+
+  /// Fraction of shards that answered; 1.0 for a fully healthy search.
+  double Coverage() const {
+    return shards_total == 0
+               ? 0.0
+               : static_cast<double>(shards_answered) /
+                     static_cast<double>(shards_total);
+  }
 };
 
 struct ShardedGpuEstimate {
@@ -75,6 +106,18 @@ class ShardedSongIndex {
                              const SongSearchOptions& options,
                              size_t num_threads = 0) const;
 
+  /// Fault-tolerant sharded search. Each shard attempt passes the
+  /// deterministic fault sites `shardN.htod`, `shardN.kernel` and
+  /// `shardN.dtoh` (core/fault_injection.h); a failing shard is retried
+  /// per `resilience`, then dropped (partial merge) or escalated. Returns
+  /// kUnavailable when no shard answers (or any shard fails with
+  /// allow_partial off), kInvalidArgument on a query/index dim mismatch.
+  /// With no faults injected the merged results are identical to Search().
+  StatusOr<ShardedSearchResult> TrySearch(
+      const Dataset& queries, size_t k, const SongSearchOptions& options,
+      const ShardedResilienceOptions& resilience = {},
+      size_t num_threads = 0) const;
+
   /// Prices a ShardedSearchResult on one GpuSpec per shard (`gpus.size()`
   /// must equal num_shards()).
   ShardedGpuEstimate EstimateGpu(const ShardedSearchResult& result,
@@ -89,6 +132,14 @@ class ShardedSongIndex {
     FixedDegreeGraph graph;
     std::unique_ptr<SongSearcher> searcher;
   };
+
+  /// One attempt at shard `s`: checks the htod/kernel fault sites, runs
+  /// every query, checks the dtoh site, then (only on success) publishes
+  /// results + stats — so a retried attempt never double-counts.
+  Status SearchOneShard(size_t s, const Dataset& queries, size_t k,
+                        const SongSearchOptions& options, size_t num_threads,
+                        std::vector<std::vector<Neighbor>>* results,
+                        SearchStats* stats) const;
 
   const Dataset* full_data_;
   Metric metric_;

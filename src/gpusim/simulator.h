@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "core/dataset.h"
+#include "core/fault_injection.h"
+#include "core/status.h"
 #include "core/thread_pool.h"
 #include "core/timer.h"
 #include "gpusim/cost_model.h"
@@ -43,6 +45,50 @@ inline SimulatedRun SimulateBatch(const SongSearcher& searcher,
   SimulatedRun run;
   BatchEngine engine(&searcher, num_threads);
   run.batch = engine.Search(queries, k, options, telemetry);
+
+  WorkloadShape shape;
+  shape.num_queries = queries.num();
+  shape.dim = searcher.data().dim();
+  shape.point_bytes = searcher.data().dim() * sizeof(float);
+  shape.k = k;
+  shape.queue_size = std::max(options.queue_size, k);
+  shape.degree = searcher.graph().degree();
+  shape.multi_query = options.multi_query;
+  shape.multi_step = options.multi_step_probe;
+  shape.structure = options.structure;
+  run.shape = shape;
+
+  CostModel model(spec);
+  run.gpu = model.Estimate(run.batch.stats, shape);
+  RecordKernelBreakdown(run.gpu, run.batch.num_queries, spec,
+                        telemetry.registry);
+  return run;
+}
+
+/// Checked simulation for serving paths. Wraps the batch in the
+/// deterministic `transfer.htod` / `transfer.dtoh` fault sites (a tripped
+/// transfer returns kUnavailable — the caller may retry) and routes
+/// execution through BatchEngine::TrySearch, picking up query validation
+/// and admission control. With no faults armed and default admission the
+/// results are identical to SimulateBatch.
+inline StatusOr<SimulatedRun> TrySimulateBatch(
+    const SongSearcher& searcher, const Dataset& queries, size_t k,
+    const SongSearchOptions& options, const GpuSpec& spec,
+    size_t num_threads = 0, const BatchTelemetry& telemetry = {},
+    const BatchAdmission& admission = {}) {
+  if (fault::ShouldFail("transfer.htod")) {
+    return Status::Unavailable("injected fault: transfer.htod (query upload)");
+  }
+  SimulatedRun run;
+  BatchEngine engine(&searcher, num_threads);
+  StatusOr<BatchResult> batch =
+      engine.TrySearch(queries, k, options, telemetry, admission);
+  if (!batch.ok()) return batch.status();
+  run.batch = std::move(batch).value();
+  if (fault::ShouldFail("transfer.dtoh")) {
+    return Status::Unavailable(
+        "injected fault: transfer.dtoh (result download)");
+  }
 
   WorkloadShape shape;
   shape.num_queries = queries.num();

@@ -1,6 +1,25 @@
 #include "graph/csr_graph.h"
 
+#include <cstdio>
+#include <cstring>
+
+#include "core/fault_injection.h"
+
 namespace song {
+
+namespace {
+constexpr char kMagic[4] = {'S', 'N', 'G', 'C'};
+
+/// Remaining bytes from the current position to EOF, or -1 on seek failure.
+long RemainingBytes(std::FILE* f) {
+  const long pos = std::ftell(f);
+  if (pos < 0 || std::fseek(f, 0, SEEK_END) != 0) return -1;
+  const long end = std::ftell(f);
+  if (end < 0 || std::fseek(f, pos, SEEK_SET) != 0) return -1;
+  return end - pos;
+}
+
+}  // namespace
 
 CsrGraph CsrGraph::FromFixedDegree(const FixedDegreeGraph& graph) {
   CsrGraph csr;
@@ -32,6 +51,97 @@ CsrGraph CsrGraph::FromAdjacency(
   csr.targets_.reserve(csr.offsets_.back());
   for (const auto& row : adjacency) {
     csr.targets_.insert(csr.targets_.end(), row.begin(), row.end());
+  }
+  return csr;
+}
+
+Status CsrGraph::Validate() const {
+  if (offsets_.empty()) {
+    if (targets_.empty()) return Status::OK();
+    return Status::DataLoss("targets without offsets");
+  }
+  if (offsets_.front() != 0) return Status::DataLoss("offsets[0] != 0");
+  for (size_t v = 1; v < offsets_.size(); ++v) {
+    if (offsets_[v] < offsets_[v - 1]) {
+      return Status::DataLoss("offsets not monotone at vertex " +
+                              std::to_string(v - 1));
+    }
+  }
+  if (offsets_.back() != targets_.size()) {
+    return Status::DataLoss("offsets[n] != num_edges");
+  }
+  const size_t n = num_vertices();
+  for (size_t e = 0; e < targets_.size(); ++e) {
+    if (targets_[e] >= n) {
+      return Status::DataLoss("out-of-range target id " +
+                              std::to_string(targets_[e]) + " at edge " +
+                              std::to_string(e));
+    }
+  }
+  return Status::OK();
+}
+
+Status CsrGraph::Save(const std::string& path) const {
+  if (fault::ShouldFail("io.write")) {
+    return Status::Unavailable("injected fault: io.write " + path);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open for write: " + path);
+  const uint64_t n = num_vertices();
+  const uint64_t e = num_edges();
+  bool ok = std::fwrite(kMagic, 1, 4, f) == 4;
+  ok = ok && std::fwrite(&n, sizeof(n), 1, f) == 1;
+  ok = ok && std::fwrite(&e, sizeof(e), 1, f) == 1;
+  ok = ok && (offsets_.empty() ||
+              std::fwrite(offsets_.data(), sizeof(uint64_t), offsets_.size(),
+                          f) == offsets_.size());
+  ok = ok && (targets_.empty() ||
+              std::fwrite(targets_.data(), sizeof(idx_t), targets_.size(),
+                          f) == targets_.size());
+  std::fclose(f);
+  if (!ok) return Status::IOError("short write: " + path);
+  return Status::OK();
+}
+
+StatusOr<CsrGraph> CsrGraph::Load(const std::string& path) {
+  if (fault::ShouldFail("io.read")) {
+    return Status::Unavailable("injected fault: io.read " + path);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open for read: " + path);
+  char magic[4];
+  uint64_t n = 0;
+  uint64_t e = 0;
+  bool ok = std::fread(magic, 1, 4, f) == 4 &&
+            std::memcmp(magic, kMagic, 4) == 0;
+  ok = ok && std::fread(&n, sizeof(n), 1, f) == 1;
+  ok = ok && std::fread(&e, sizeof(e), 1, f) == 1;
+  if (!ok) {
+    std::fclose(f);
+    return Status::DataLoss("bad header: " + path);
+  }
+  const long remaining = RemainingBytes(f);
+  const uint64_t expected =
+      (n + 1) * sizeof(uint64_t) + e * sizeof(idx_t);
+  if (remaining < 0 || n > (uint64_t{1} << 40) || e > (uint64_t{1} << 44) ||
+      static_cast<uint64_t>(remaining) != expected) {
+    std::fclose(f);
+    return Status::DataLoss("payload size mismatch (truncated or corrupt): " +
+                            path);
+  }
+  CsrGraph csr;
+  csr.offsets_.resize(static_cast<size_t>(n) + 1);
+  csr.targets_.resize(static_cast<size_t>(e));
+  ok = std::fread(csr.offsets_.data(), sizeof(uint64_t), csr.offsets_.size(),
+                  f) == csr.offsets_.size();
+  ok = ok && (csr.targets_.empty() ||
+              std::fread(csr.targets_.data(), sizeof(idx_t),
+                         csr.targets_.size(), f) == csr.targets_.size());
+  std::fclose(f);
+  if (!ok) return Status::DataLoss("short read: " + path);
+  const Status valid = csr.Validate();
+  if (!valid.ok()) {
+    return Status::DataLoss(valid.message() + ": " + path);
   }
   return csr;
 }

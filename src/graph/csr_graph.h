@@ -13,9 +13,11 @@
 #define SONG_GRAPH_CSR_GRAPH_H_
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "core/logging.h"
+#include "core/status.h"
 #include "core/types.h"
 #include "graph/fixed_degree_graph.h"
 
@@ -65,6 +67,16 @@ class CsrGraph {
   static size_t ExpansionTransactions(size_t count) {
     return 1 + (count * sizeof(idx_t) + 127) / 128;
   }
+
+  /// Structural integrity check: offsets present, starting at 0, monotone,
+  /// ending at num_edges(), and every target id in [0, num_vertices()).
+  /// Load() enforces this; exposed so in-memory builders can be audited too.
+  Status Validate() const;
+
+  /// Serialization: magic "SNGC", u64 num_vertices, u64 num_edges, then the
+  /// n+1 offsets (u64) and E targets (u32).
+  Status Save(const std::string& path) const;
+  static StatusOr<CsrGraph> Load(const std::string& path);
 
  private:
   std::vector<uint64_t> offsets_;  // n+1

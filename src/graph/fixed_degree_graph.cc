@@ -4,10 +4,22 @@
 #include <cstdio>
 #include <cstring>
 
+#include "core/fault_injection.h"
+
 namespace song {
 
 namespace {
 constexpr char kMagic[4] = {'S', 'N', 'G', 'G'};
+
+/// Remaining bytes from the current position to EOF, or -1 on seek failure.
+long RemainingBytes(std::FILE* f) {
+  const long pos = std::ftell(f);
+  if (pos < 0 || std::fseek(f, 0, SEEK_END) != 0) return -1;
+  const long end = std::ftell(f);
+  if (end < 0 || std::fseek(f, pos, SEEK_SET) != 0) return -1;
+  return end - pos;
+}
+
 }  // namespace
 
 FixedDegreeGraph::FixedDegreeGraph(size_t num_vertices, size_t degree)
@@ -67,6 +79,9 @@ bool FixedDegreeGraph::AddNeighbor(idx_t v, idx_t u) {
 }
 
 Status FixedDegreeGraph::Save(const std::string& path) const {
+  if (fault::ShouldFail("io.write")) {
+    return Status::Unavailable("injected fault: io.write " + path);
+  }
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::IOError("cannot open for write: " + path);
   const uint32_t degree32 = static_cast<uint32_t>(degree_);
@@ -83,6 +98,9 @@ Status FixedDegreeGraph::Save(const std::string& path) const {
 }
 
 StatusOr<FixedDegreeGraph> FixedDegreeGraph::Load(const std::string& path) {
+  if (fault::ShouldFail("io.read")) {
+    return Status::Unavailable("injected fault: io.read " + path);
+  }
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IOError("cannot open for read: " + path);
   char magic[4];
@@ -94,13 +112,37 @@ StatusOr<FixedDegreeGraph> FixedDegreeGraph::Load(const std::string& path) {
   ok = ok && std::fread(&num64, sizeof(num64), 1, f) == 1;
   if (!ok || degree32 == 0) {
     std::fclose(f);
-    return Status::IOError("bad header: " + path);
+    return Status::DataLoss("bad header: " + path);
+  }
+  // Slot payload must match the header's claim exactly — rejects truncation
+  // and absurd header values before any allocation happens.
+  const long remaining = RemainingBytes(f);
+  const uint64_t slots = num64 * uint64_t{degree32};
+  if (remaining < 0 || num64 > (uint64_t{1} << 40) ||
+      slots / degree32 != num64 ||
+      static_cast<uint64_t>(remaining) != slots * sizeof(idx_t)) {
+    std::fclose(f);
+    return Status::DataLoss("slot size mismatch (truncated or corrupt): " +
+                            path);
   }
   FixedDegreeGraph g(static_cast<size_t>(num64), degree32);
   ok = std::fread(g.slots_.data(), sizeof(idx_t), g.num_vertices_ * g.degree_,
                   f) == g.num_vertices_ * g.degree_;
   std::fclose(f);
-  if (!ok) return Status::IOError("short read: " + path);
+  if (!ok) return Status::DataLoss("short read: " + path);
+  // Neighbor ids are trusted by the search hot path (Row() feeds Dataset
+  // rows without bounds checks), so validate them here, once, at load time:
+  // every slot is either the kInvalidIdx pad or a vertex id in range.
+  for (size_t v = 0; v < g.num_vertices_; ++v) {
+    const idx_t* row = g.Row(static_cast<idx_t>(v));
+    for (size_t i = 0; i < g.degree_; ++i) {
+      if (row[i] != kInvalidIdx && row[i] >= g.num_vertices_) {
+        return Status::DataLoss("out-of-range neighbor id " +
+                                std::to_string(row[i]) + " at vertex " +
+                                std::to_string(v) + ": " + path);
+      }
+    }
+  }
   return g;
 }
 

@@ -67,6 +67,10 @@ void RecordBatchMetrics(const BatchResult& batch,
       .Increment(s.visited_insert_failures);
   registry->GetCounter("song.search.selected_insertion_skips")
       .Increment(s.selected_insertion_skips);
+  registry->GetCounter("song.search.degraded")
+      .Increment(batch.queries_degraded);
+  registry->GetCounter("song.batch.rejected_queries")
+      .Increment(batch.queries_rejected);
   registry->GetGauge("song.search.visited_capacity_bytes")
       .Set(static_cast<double>(s.visited_capacity_bytes));
   registry->GetGauge("song.search.peak_visited_size")
@@ -107,10 +111,63 @@ BatchResult BatchEngine::Search(const Dataset& queries, size_t k,
 BatchResult BatchEngine::Search(const Dataset& queries, size_t k,
                                 const SongSearchOptions& options,
                                 const BatchTelemetry& telemetry) const {
+  return RunBatch(queries, k, options, telemetry, /*validate=*/false);
+}
+
+StatusOr<BatchResult> BatchEngine::TrySearch(
+    const Dataset& queries, size_t k, const SongSearchOptions& options,
+    const BatchTelemetry& telemetry, const BatchAdmission& admission) const {
+  if (queries.dim() != searcher_->data().dim()) {
+    return Status::InvalidArgument(
+        "query dim " + std::to_string(queries.dim()) +
+        " does not match index dim " +
+        std::to_string(searcher_->data().dim()));
+  }
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (k > searcher_->data().num()) {
+    return Status::InvalidArgument(
+        "k = " + std::to_string(k) + " exceeds the dataset size " +
+        std::to_string(searcher_->data().num()));
+  }
+  const size_t ef = std::max(options.queue_size, k);
+  if (ef > SongSearcher::kMaxQueueSize) {
+    return Status::ResourceExhausted(
+        "effective queue size " + std::to_string(ef) +
+        " exceeds the admission limit " +
+        std::to_string(SongSearcher::kMaxQueueSize));
+  }
+
+  if (admission.max_inflight > 0) {
+    const size_t prior = inflight_.fetch_add(1, std::memory_order_acq_rel);
+    if (prior >= admission.max_inflight) {
+      inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      if (telemetry.registry != nullptr) {
+        telemetry.registry->GetCounter("song.batch.shed").Increment();
+      }
+      return Status::ResourceExhausted(
+          "batch shed: " + std::to_string(prior) +
+          " batches already in flight (max_inflight = " +
+          std::to_string(admission.max_inflight) + ")");
+    }
+  } else {
+    inflight_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  BatchResult batch = RunBatch(queries, k, options, telemetry,
+                               /*validate=*/true);
+  inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  return batch;
+}
+
+BatchResult BatchEngine::RunBatch(const Dataset& queries, size_t k,
+                                  const SongSearchOptions& options,
+                                  const BatchTelemetry& telemetry,
+                                  bool validate) const {
   BatchResult batch;
   batch.num_queries = queries.num();
   batch.results.resize(queries.num());
   batch.latencies_us.resize(queries.num());
+  batch.degraded.assign(queries.num(), 0);
+  batch.rejected.assign(queries.num(), 0);
 
   std::vector<SongWorkspace> workspaces(num_threads_);
   std::vector<SearchStats> thread_stats(num_threads_);
@@ -121,14 +178,22 @@ BatchResult BatchEngine::Search(const Dataset& queries, size_t k,
 
   Timer timer;
   ParallelFor(queries.num(), num_threads_, [&](size_t qi, size_t tid) {
+    const float* query = queries.Row(static_cast<idx_t>(qi));
+    if (validate && !searcher_->ValidateQuery(query).ok()) {
+      batch.rejected[qi] = 1;
+      batch.latencies_us[qi] = 0.0f;
+      return;
+    }
     const bool traced = sampler.ShouldSample(qi);
     obs::SearchTrace trace;
+    bool degraded = false;
     Timer query_timer;
     batch.results[qi] =
-        searcher_->Search(queries.Row(static_cast<idx_t>(qi)), k, options,
-                          &workspaces[tid], &thread_stats[tid],
-                          traced ? &trace : nullptr);
+        searcher_->Search(query, k, options, &workspaces[tid],
+                          &thread_stats[tid], traced ? &trace : nullptr,
+                          &degraded);
     batch.latencies_us[qi] = static_cast<float>(query_timer.ElapsedMicros());
+    if (degraded) batch.degraded[qi] = 1;
     if (traced) {
       trace.query_id = qi;
       trace.wall_micros = static_cast<double>(batch.latencies_us[qi]);
@@ -138,6 +203,8 @@ BatchResult BatchEngine::Search(const Dataset& queries, size_t k,
   batch.wall_seconds = timer.ElapsedSeconds();
 
   for (const SearchStats& s : thread_stats) batch.stats.Add(s);
+  for (const uint8_t d : batch.degraded) batch.queries_degraded += d;
+  for (const uint8_t r : batch.rejected) batch.queries_rejected += r;
   batch.traces_dropped = collector.dropped();
   batch.traces = collector.Take();
   // Worker completion order is nondeterministic; keep exports stable.

@@ -9,15 +9,27 @@
 #ifndef SONG_SONG_BATCH_ENGINE_H_
 #define SONG_SONG_BATCH_ENGINE_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/dataset.h"
+#include "core/status.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "song/song_searcher.h"
 
 namespace song {
+
+/// Admission control for TrySearch. `max_inflight` bounds the number of
+/// batches the engine serves concurrently; a batch arriving past the limit
+/// is shed immediately with kResourceExhausted rather than queued — the
+/// caller (a serving tier) decides whether to retry, reroute, or drop.
+/// 0 = unlimited (no admission check at all).
+struct BatchAdmission {
+  size_t max_inflight = 0;
+};
 
 /// Opt-in observability for a batch run: per-query traces at 1-in-M
 /// sampling and/or metric recording into a registry. The defaults (no
@@ -45,6 +57,14 @@ struct BatchResult {
   std::vector<obs::SearchTrace> traces;
   /// Traces discarded after `max_traces` was reached.
   size_t traces_dropped = 0;
+  /// Per-query flags, same order as `results`: `degraded[q]` set when a
+  /// deadline/cost budget cut query q short (its results are valid but
+  /// best-so-far); `rejected[q]` set when validation refused the query
+  /// (TrySearch only — its result list is empty).
+  std::vector<uint8_t> degraded;
+  std::vector<uint8_t> rejected;
+  size_t queries_degraded = 0;
+  size_t queries_rejected = 0;
 
   double Qps() const {
     return wall_seconds > 0.0 ? static_cast<double>(num_queries) /
@@ -84,11 +104,33 @@ class BatchEngine {
                      const SongSearchOptions& options,
                      const BatchTelemetry& telemetry) const;
 
+  /// Checked batch search for serving: validates the batch shape and
+  /// options up front (dim mismatch, k = 0, oversized queue), applies
+  /// admission control (`admission.max_inflight`), and screens each query
+  /// for NaN/Inf — a bad query is recorded in `rejected` with an empty
+  /// result list instead of poisoning the batch. A shed batch returns
+  /// kResourceExhausted and bumps `song.batch.shed`. Valid queries behave
+  /// exactly as under Search().
+  StatusOr<BatchResult> TrySearch(const Dataset& queries, size_t k,
+                                  const SongSearchOptions& options,
+                                  const BatchTelemetry& telemetry = {},
+                                  const BatchAdmission& admission = {}) const;
+
   size_t num_threads() const { return num_threads_; }
 
+  /// Batches currently executing (admission-control accounting).
+  size_t inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+
  private:
+  BatchResult RunBatch(const Dataset& queries, size_t k,
+                       const SongSearchOptions& options,
+                       const BatchTelemetry& telemetry, bool validate) const;
+
   const SongSearcher* searcher_;
   size_t num_threads_;
+  mutable std::atomic<size_t> inflight_{0};
 };
 
 }  // namespace song

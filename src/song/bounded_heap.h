@@ -12,9 +12,11 @@
 #define SONG_SONG_BOUNDED_HEAP_H_
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "core/logging.h"
+#include "core/status.h"
 #include "core/types.h"
 #include "song/debug_hooks.h"
 
@@ -64,6 +66,17 @@ class SymmetricMinMaxHeap {
     slots_[j] = x;
     ++size_;
     BubbleUp(j);
+  }
+
+  /// Checked admission: rejects (instead of corrupting the heap / tripping
+  /// a debug assert) when the fixed capacity is already used up.
+  Status TryPush(const Neighbor& x) {
+    if (full()) {
+      return Status::ResourceExhausted(
+          "queue at capacity " + std::to_string(capacity_));
+    }
+    Push(x);
+    return Status::OK();
   }
 
   /// Inserts, evicting the current maximum if at capacity. Returns false if
@@ -216,6 +229,18 @@ class BoundedMaxHeap {
   const Neighbor& Max() const {
     SONG_DCHECK(!heap_.empty());
     return heap_[0];
+  }
+
+  /// Checked admission counterpart of PushBounded for callers that must not
+  /// evict: rejects with kResourceExhausted once the heap is full.
+  Status TryPush(const Neighbor& x) {
+    if (full()) {
+      return Status::ResourceExhausted(
+          "topk heap at capacity " + std::to_string(capacity_));
+    }
+    heap_.push_back(x);
+    SiftUp(heap_.size() - 1);
+    return Status::OK();
   }
 
   /// Inserts, evicting the maximum when full. Returns false if rejected.

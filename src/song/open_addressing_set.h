@@ -14,9 +14,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/logging.h"
+#include "core/status.h"
 #include "core/types.h"
 #include "song/debug_hooks.h"
 
@@ -28,6 +30,24 @@ class OpenAddressingSet {
   /// slot array is sized to the next power of two >= 2 * capacity to keep
   /// the load factor <= 0.5.
   explicit OpenAddressingSet(size_t capacity = 0) { Reset(capacity); }
+
+  /// Largest element capacity TryReset admits. 2^28 elements means a 2^29
+  /// slot array (2 GiB of idx_t) — far past any per-query visited set; a
+  /// request above this is a corrupt size or a config error, and rejecting
+  /// it beats dying in the allocator.
+  static constexpr size_t kMaxCapacity = size_t{1} << 28;
+
+  /// Checked admission: rejects capacities that would demand an absurd slot
+  /// allocation with kResourceExhausted instead of aborting on bad_alloc.
+  Status TryReset(size_t capacity) {
+    if (capacity > kMaxCapacity) {
+      return Status::ResourceExhausted(
+          "visited capacity " + std::to_string(capacity) +
+          " exceeds the admission limit " + std::to_string(kMaxCapacity));
+    }
+    Reset(capacity);
+    return Status::OK();
+  }
 
   void Reset(size_t capacity) {
     min_capacity_ = capacity;

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/timer.h"
 #include "core/types.h"
 #include "graph/fixed_degree_graph.h"
 #include "obs/trace.h"
@@ -96,6 +97,13 @@ inline void AppendTraceRow(obs::SearchTrace* trace, uint32_t iteration,
 /// Runs the decoupled search (candidate locating -> bulk distance ->
 /// maintenance) and returns the k closest vertices found, ascending.
 ///
+/// Budgets (options.deadline_us / options.cost_budget) are checked once per
+/// main-loop round; on exhaustion the search stops and returns the best-so-
+/// far top-k, setting `*degraded` (when provided) so callers can tag the
+/// result. Both default to off, in which case no budget code runs and the
+/// iteration order — and therefore the result — is byte-identical to a
+/// budget-free build.
+///
 /// `distance(v)` returns the query-to-vertex score (smaller = closer);
 /// `point_bytes` is the per-vertex payload fetched by the bulk-distance
 /// stage (for memory-traffic accounting). When `trace` is non-null the
@@ -120,7 +128,8 @@ std::vector<Neighbor> SongSearchCore(const FixedDegreeGraph& graph,
                                      const SongSearchOptions& options,
                                      SongWorkspace* workspace,
                                      SearchStats* stats,
-                                     obs::SearchTrace* trace = nullptr) {
+                                     obs::SearchTrace* trace = nullptr,
+                                     bool* degraded = nullptr) {
   const size_t ef = std::max(options.queue_size, k);
   const size_t degree = graph.degree();
   const size_t multi_step = std::max<size_t>(1, options.multi_step_probe);
@@ -176,8 +185,26 @@ std::vector<Neighbor> SongSearchCore(const FixedDegreeGraph& graph,
   }
 
   // --- Main loop: one 3-stage round per iteration. ---
+  const bool has_deadline = options.deadline_us > 0;
+  const bool has_cost_budget = options.cost_budget > 0;
+  Timer deadline_timer;  // only consulted when has_deadline
+  bool budget_exhausted = false;
   SearchStats iter_start;
   while (!q.empty()) {
+    // Budget gate: graceful degradation returns the best-so-far top-k
+    // instead of running the frontier dry. Cost units are deterministic;
+    // the wall-clock deadline is the serving-layer knob.
+    if (has_cost_budget &&
+        local.distance_computations >= options.cost_budget) {
+      budget_exhausted = true;
+      break;
+    }
+    if (has_deadline &&
+        deadline_timer.ElapsedMicros() >=
+            static_cast<double>(options.deadline_us)) {
+      budget_exhausted = true;
+      break;
+    }
     ++local.iterations;
     if (trace != nullptr) iter_start = local;
 
@@ -324,6 +351,8 @@ std::vector<Neighbor> SongSearchCore(const FixedDegreeGraph& graph,
     }
   }
 
+  if (budget_exhausted) ++local.budget_terminations;
+  if (degraded != nullptr) *degraded = budget_exhausted;
   std::vector<Neighbor> result = topk.TakeSorted();
   if (result.size() > k) result.resize(k);
   if (stats != nullptr) stats->Add(local);

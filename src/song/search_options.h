@@ -85,6 +85,20 @@ struct SongSearchOptions {
   /// bit-identical since only vertex labels change.
   GraphReorder reorder = GraphReorder::kNone;
 
+  /// Per-query wall-clock budget in microseconds; 0 = unlimited. When the
+  /// budget expires mid-search the loop stops and the best-so-far top-k is
+  /// returned with the query tagged degraded. The check is one steady-clock
+  /// read per iteration and is skipped entirely when 0, so results with the
+  /// budget off are bit-identical to a build without this feature.
+  uint64_t deadline_us = 0;
+
+  /// Per-query simulated-cost budget; 0 = unlimited. Units are Stage 2
+  /// distance computations — the counter the GPU cost model prices as the
+  /// dominant kernel term — so unlike deadline_us this budget is exactly
+  /// reproducible across machines and runs. When exceeded the search stops
+  /// and returns best-so-far, tagged degraded.
+  uint64_t cost_budget = 0;
+
   /// Presets matching the Fig 7 series names.
   static SongSearchOptions HashTable() { return SongSearchOptions{}; }
   static SongSearchOptions HashTableSel() {
@@ -156,6 +170,7 @@ struct SearchStats {
   size_t visited_deletions = 0;
   size_t visited_insert_failures = 0;  ///< saturated structure
   size_t selected_insertion_skips = 0; ///< candidates filtered by §IV-D
+  size_t budget_terminations = 0;      ///< searches cut short by a budget
 
   // Memory accounting.
   size_t visited_capacity_bytes = 0;  ///< allocated visited footprint
@@ -180,6 +195,7 @@ struct SearchStats {
     visited_deletions += other.visited_deletions;
     visited_insert_failures += other.visited_insert_failures;
     selected_insertion_skips += other.selected_insertion_skips;
+    budget_terminations += other.budget_terminations;
     visited_capacity_bytes = std::max(visited_capacity_bytes,
                                       other.visited_capacity_bytes);
     peak_visited_size = std::max(peak_visited_size, other.peak_visited_size);

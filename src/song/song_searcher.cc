@@ -1,5 +1,8 @@
 #include "song/song_searcher.h"
 
+#include <cmath>
+#include <string>
+
 namespace song {
 
 namespace {
@@ -54,18 +57,65 @@ std::vector<Neighbor> SongSearcher::Search(const float* query, size_t k,
                                            const SongSearchOptions& options,
                                            SongWorkspace* workspace,
                                            SearchStats* stats,
-                                           obs::SearchTrace* trace) const {
+                                           obs::SearchTrace* trace,
+                                           bool* degraded) const {
   SONG_DCHECK(workspace != nullptr);
   const Dataset& data = *data_;
   const DenseDistanceFn distance{&batch_dist_, &data, query,
                                  batch_dist_.QueryNormSqr(query)};
   std::vector<Neighbor> result = SongSearchCore(
       *graph_, entry_, data.num(), data.dim() * sizeof(float), distance, k,
-      options, workspace, stats, trace);
+      options, workspace, stats, trace, degraded);
   if (!result_id_map_.empty()) {
     for (Neighbor& n : result) n.id = result_id_map_[n.id];
   }
   return result;
+}
+
+Status SongSearcher::ValidateQuery(const float* query) const {
+  if (query == nullptr) {
+    return Status::InvalidArgument("query is null");
+  }
+  const size_t dim = data_->dim();
+  for (size_t d = 0; d < dim; ++d) {
+    if (!std::isfinite(query[d])) {
+      return Status::InvalidArgument(
+          "query component " + std::to_string(d) + " is " +
+          (std::isnan(query[d]) ? "NaN" : "infinite") +
+          "; distances would be undefined");
+    }
+  }
+  return Status::OK();
+}
+
+Status SongSearcher::ValidateRequest(const float* query, size_t k,
+                                     const SongSearchOptions& options) const {
+  if (k == 0) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  if (k > data_->num()) {
+    return Status::InvalidArgument(
+        "k = " + std::to_string(k) + " exceeds the dataset size " +
+        std::to_string(data_->num()));
+  }
+  const size_t ef = std::max(options.queue_size, k);
+  if (ef > kMaxQueueSize) {
+    return Status::ResourceExhausted(
+        "effective queue size " + std::to_string(ef) +
+        " exceeds the admission limit " + std::to_string(kMaxQueueSize));
+  }
+  if (options.multi_step_probe == 0) {
+    return Status::InvalidArgument("multi_step_probe must be >= 1");
+  }
+  return ValidateQuery(query);
+}
+
+StatusOr<std::vector<Neighbor>> SongSearcher::TrySearch(
+    const float* query, size_t k, const SongSearchOptions& options,
+    SongWorkspace* workspace, SearchStats* stats, obs::SearchTrace* trace,
+    bool* degraded) const {
+  SONG_RETURN_IF_ERROR(ValidateRequest(query, k, options));
+  return Search(query, k, options, workspace, stats, trace, degraded);
 }
 
 }  // namespace song

@@ -21,6 +21,7 @@
 
 #include "core/dataset.h"
 #include "core/distance.h"
+#include "core/status.h"
 #include "core/types.h"
 #include "graph/fixed_degree_graph.h"
 #include "song/search_core.h"
@@ -37,17 +38,44 @@ class SongSearcher {
 
   /// Top-k search for one query. `workspace` may be shared across calls on
   /// the same thread; `stats` (optional) accumulates work counters; `trace`
-  /// (optional) records a per-iteration obs::SearchTrace for this query.
+  /// (optional) records a per-iteration obs::SearchTrace for this query;
+  /// `degraded` (optional) is set when a deadline/cost budget cut the
+  /// search short and the result is best-so-far rather than converged.
   std::vector<Neighbor> Search(const float* query, size_t k,
                                const SongSearchOptions& options,
                                SongWorkspace* workspace,
                                SearchStats* stats = nullptr,
-                               obs::SearchTrace* trace = nullptr) const;
+                               obs::SearchTrace* trace = nullptr,
+                               bool* degraded = nullptr) const;
 
   /// Convenience overload owning a transient workspace.
   std::vector<Neighbor> Search(const float* query, size_t k,
                                const SongSearchOptions& options,
                                SearchStats* stats = nullptr) const;
+
+  /// Largest admissible effective queue size (ef). Guards the fixed
+  /// per-query allocations against corrupt or hostile option values.
+  static constexpr size_t kMaxQueueSize = size_t{1} << 22;
+
+  /// Rejects queries the pipeline cannot serve meaningfully: null or
+  /// containing NaN/Inf components (distances would be poisoned and the
+  /// bounded-heap ordering undefined).
+  Status ValidateQuery(const float* query) const;
+
+  /// Validates a full request (query payload + option sanity + capacity
+  /// admission) before touching any per-query structure.
+  Status ValidateRequest(const float* query, size_t k,
+                         const SongSearchOptions& options) const;
+
+  /// Checked search: runs ValidateRequest, then Search. Never aborts on
+  /// malformed input; a budget-terminated search still succeeds and sets
+  /// `*degraded`.
+  StatusOr<std::vector<Neighbor>> TrySearch(const float* query, size_t k,
+                                            const SongSearchOptions& options,
+                                            SongWorkspace* workspace,
+                                            SearchStats* stats = nullptr,
+                                            obs::SearchTrace* trace = nullptr,
+                                            bool* degraded = nullptr) const;
 
   /// Installs a new-id -> old-id mapping applied to result ids at emit
   /// time. Used with reordered indexes (graph/reorder.h): the searcher runs

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/logging.h"
+#include "core/status.h"
 #include "song/bloom_filter.h"
 #include "song/cuckoo_filter.h"
 #include "song/open_addressing_set.h"
@@ -58,6 +59,27 @@ class VisitedTable {
   /// the allocation is reused and only cleared — per-query reallocation
   /// would dominate the CPU pipeline (and a real kernel reuses its fixed
   /// shared-memory region the same way).
+  /// Checked admission for externally supplied capacities (query options,
+  /// deserialized configs): rejects sizes past the per-query admission
+  /// limit with kResourceExhausted instead of attempting the allocation.
+  Status TryReset(VisitedStructure structure, size_t capacity,
+                  size_t bloom_bits = 0) {
+    if (capacity > OpenAddressingSet::kMaxCapacity) {
+      return Status::ResourceExhausted(
+          "visited capacity " + std::to_string(capacity) +
+          " exceeds the admission limit " +
+          std::to_string(OpenAddressingSet::kMaxCapacity));
+    }
+    if (structure == VisitedStructure::kBloomFilter &&
+        bloom_bits > 8 * OpenAddressingSet::kMaxCapacity) {
+      return Status::ResourceExhausted("bloom bit budget " +
+                                       std::to_string(bloom_bits) +
+                                       " exceeds the admission limit");
+    }
+    Reset(structure, capacity, bloom_bits);
+    return Status::OK();
+  }
+
   void Reset(VisitedStructure structure, size_t capacity,
              size_t bloom_bits = 0) {
     if (structure == structure_ && capacity == last_capacity_ &&

@@ -1,0 +1,177 @@
+// Tests for the deterministic fault-injection registry: spec parsing,
+// seed/counter determinism, probability calibration, per-site @max caps,
+// wildcard matching, and the zero-cost disabled path.
+
+#include "core/fault_injection.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace song::fault {
+namespace {
+
+TEST(FaultInjection, DisabledByDefaultAndNeverFires) {
+  FaultRegistry reg;
+  EXPECT_FALSE(reg.enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(reg.ShouldFail("io.read"));
+  }
+  EXPECT_EQ(reg.injected_total(), 0u);
+}
+
+TEST(FaultInjection, ParsesMultiRuleSpec) {
+  FaultRegistry reg;
+  ASSERT_TRUE(
+      reg.Configure("shard0.kernel=1,io.read=0.5@3,*=0.01", 7).ok());
+  EXPECT_TRUE(reg.enabled());
+  EXPECT_EQ(reg.spec(), "shard0.kernel=1,io.read=0.5@3,*=0.01");
+  EXPECT_EQ(reg.seed(), 7u);
+}
+
+TEST(FaultInjection, RejectsMalformedSpecs) {
+  FaultRegistry reg;
+  EXPECT_FALSE(reg.Configure("oops", 1).ok());             // no '='
+  EXPECT_FALSE(reg.Configure("a=2", 1).ok());              // prob > 1
+  EXPECT_FALSE(reg.Configure("a=-0.5", 1).ok());           // prob < 0
+  EXPECT_FALSE(reg.Configure("a=", 1).ok());               // empty prob
+  EXPECT_FALSE(reg.Configure("=1", 1).ok());               // empty site
+  EXPECT_FALSE(reg.Configure("a=0.5@", 1).ok());           // empty max
+  EXPECT_FALSE(reg.Configure("a=0.5@x", 1).ok());          // junk max
+  EXPECT_FALSE(reg.Configure("a*b*c=1", 1).ok());          // two wildcards
+  EXPECT_FALSE(reg.enabled());  // a failed Configure leaves it disarmed
+}
+
+TEST(FaultInjection, EmptySpecDisables) {
+  FaultRegistry reg;
+  ASSERT_TRUE(reg.Configure("io.read=1", 1).ok());
+  EXPECT_TRUE(reg.enabled());
+  ASSERT_TRUE(reg.Configure("", 1).ok());
+  EXPECT_FALSE(reg.enabled());
+  EXPECT_FALSE(reg.ShouldFail("io.read"));
+}
+
+TEST(FaultInjection, ProbabilityOneAlwaysFires) {
+  FaultRegistry reg;
+  ASSERT_TRUE(reg.Configure("io.read=1", 99).ok());
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(reg.ShouldFail("io.read"));
+  EXPECT_EQ(reg.injected_total(), 20u);
+  EXPECT_FALSE(reg.ShouldFail("io.write"));  // unmatched site never fails
+}
+
+TEST(FaultInjection, DeterministicAcrossRegistries) {
+  FaultRegistry a, b;
+  ASSERT_TRUE(a.Configure("site.x=0.5", 1234).ok());
+  ASSERT_TRUE(b.Configure("site.x=0.5", 1234).ok());
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.ShouldFail("site.x"), b.ShouldFail("site.x")) << "draw " << i;
+  }
+  EXPECT_EQ(a.injected_total(), b.injected_total());
+}
+
+TEST(FaultInjection, DifferentSeedsGiveDifferentSequences) {
+  FaultRegistry a, b;
+  ASSERT_TRUE(a.Configure("site.x=0.5", 1).ok());
+  ASSERT_TRUE(b.Configure("site.x=0.5", 2).ok());
+  int diff = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (a.ShouldFail("site.x") != b.ShouldFail("site.x")) ++diff;
+  }
+  EXPECT_GT(diff, 0);
+}
+
+TEST(FaultInjection, ReconfigureResetsCounters) {
+  FaultRegistry reg;
+  ASSERT_TRUE(reg.Configure("site.x=0.5", 42).ok());
+  std::vector<bool> first;
+  for (int i = 0; i < 100; ++i) first.push_back(reg.ShouldFail("site.x"));
+  ASSERT_TRUE(reg.Configure("site.x=0.5", 42).ok());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(reg.ShouldFail("site.x"), first[i]) << "draw " << i;
+  }
+}
+
+TEST(FaultInjection, InjectionRateTracksProbability) {
+  FaultRegistry reg;
+  ASSERT_TRUE(reg.Configure("site.x=0.2", 777).ok());
+  const int n = 20000;
+  int fails = 0;
+  for (int i = 0; i < n; ++i) {
+    if (reg.ShouldFail("site.x")) ++fails;
+  }
+  const double rate = static_cast<double>(fails) / n;
+  EXPECT_NEAR(rate, 0.2, 0.02);
+}
+
+TEST(FaultInjection, MaxFailuresCapsPerSite) {
+  FaultRegistry reg;
+  ASSERT_TRUE(reg.Configure("shard*.kernel=1@2", 5).ok());
+  // Each matched site fails exactly twice, independently.
+  EXPECT_TRUE(reg.ShouldFail("shard0.kernel"));
+  EXPECT_TRUE(reg.ShouldFail("shard0.kernel"));
+  EXPECT_FALSE(reg.ShouldFail("shard0.kernel"));
+  EXPECT_TRUE(reg.ShouldFail("shard1.kernel"));
+  EXPECT_TRUE(reg.ShouldFail("shard1.kernel"));
+  EXPECT_FALSE(reg.ShouldFail("shard1.kernel"));
+  EXPECT_EQ(reg.injected_total(), 4u);
+}
+
+TEST(FaultInjection, FirstMatchingRuleWins) {
+  FaultRegistry reg;
+  ASSERT_TRUE(reg.Configure("shard0.kernel=0,shard*.kernel=1", 5).ok());
+  EXPECT_FALSE(reg.ShouldFail("shard0.kernel"));  // exact 0-rate rule first
+  EXPECT_TRUE(reg.ShouldFail("shard1.kernel"));   // wildcard catches others
+}
+
+TEST(FaultInjection, PatternMatching) {
+  EXPECT_TRUE(PatternMatches("io.read", "io.read"));
+  EXPECT_FALSE(PatternMatches("io.read", "io.write"));
+  EXPECT_TRUE(PatternMatches("shard*.kernel", "shard0.kernel"));
+  EXPECT_TRUE(PatternMatches("shard*.kernel", "shard12.kernel"));
+  EXPECT_FALSE(PatternMatches("shard*.kernel", "shard0.htod"));
+  EXPECT_TRUE(PatternMatches("*", "anything.at.all"));
+  EXPECT_TRUE(PatternMatches("shard0.*", "shard0.dtoh"));
+  EXPECT_FALSE(PatternMatches("shard0.*", "shard1.dtoh"));
+  EXPECT_TRUE(PatternMatches("*", ""));
+  EXPECT_FALSE(PatternMatches("a*b", "acd"));
+}
+
+TEST(FaultInjection, InjectedCountsPerSite) {
+  FaultRegistry reg;
+  ASSERT_TRUE(reg.Configure("a=1@1,b=1", 3).ok());
+  reg.ShouldFail("a");
+  reg.ShouldFail("a");  // capped, not counted
+  reg.ShouldFail("b");
+  reg.ShouldFail("b");
+  const auto counts = reg.InjectedCounts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0].first, "a");
+  EXPECT_EQ(counts[0].second, 1u);
+  EXPECT_EQ(counts[1].first, "b");
+  EXPECT_EQ(counts[1].second, 2u);
+}
+
+TEST(FaultInjection, ScopedSpecRestoresPreviousState) {
+  FaultRegistry& global = FaultRegistry::Global();
+  const bool was_enabled = global.enabled();
+  const std::string prev_spec = global.spec();
+  {
+    ScopedFaultSpec scoped("scoped.site=1", 11);
+    ASSERT_TRUE(scoped.status().ok());
+    EXPECT_TRUE(global.enabled());
+    EXPECT_TRUE(ShouldFail("scoped.site"));
+  }
+  EXPECT_EQ(global.enabled(), was_enabled);
+  EXPECT_EQ(global.spec(), prev_spec);
+}
+
+TEST(FaultInjection, ScopedSpecReportsParseError) {
+  ScopedFaultSpec scoped("not a spec", 1);
+  EXPECT_FALSE(scoped.status().ok());
+  EXPECT_FALSE(ShouldFail("anything"));
+}
+
+}  // namespace
+}  // namespace song::fault

@@ -30,6 +30,31 @@ TEST(Status, AllCodesHaveNames) {
   EXPECT_STREQ(Status::CodeName(StatusCode::kOutOfRange), "OutOfRange");
   EXPECT_STREQ(Status::CodeName(StatusCode::kUnimplemented), "Unimplemented");
   EXPECT_STREQ(Status::CodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(Status::CodeName(StatusCode::kDataLoss), "DataLoss");
+  EXPECT_STREQ(Status::CodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+  EXPECT_STREQ(Status::CodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(Status::CodeName(StatusCode::kUnavailable), "Unavailable");
+}
+
+TEST(Status, RobustnessFactories) {
+  EXPECT_EQ(Status::DataLoss("truncated").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(Status::ResourceExhausted("full").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::DeadlineExceeded("late").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Unavailable("down").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DataLoss("truncated").ToString(), "DataLoss: truncated");
+}
+
+TEST(Status, ExitCodeMapsCallerErrorsToUsage) {
+  EXPECT_EQ(Status::OK().ExitCode(), 0);
+  EXPECT_EQ(Status::InvalidArgument("bad flag").ExitCode(), 2);
+  EXPECT_EQ(Status::DataLoss("corrupt").ExitCode(), 1);
+  EXPECT_EQ(Status::IOError("missing").ExitCode(), 1);
+  EXPECT_EQ(Status::Unavailable("down").ExitCode(), 1);
+  EXPECT_EQ(Status::ResourceExhausted("shed").ExitCode(), 1);
 }
 
 TEST(StatusOr, HoldsValue) {

@@ -1,0 +1,208 @@
+// Corrupted-bytes fuzz over every on-disk format (SNGD datasets, SNGG
+// fixed-degree graphs, SNGC CSR graphs): hundreds of deterministic
+// truncations, bit flips, extensions and header scrambles, each of which
+// must come back as an error Status (or as a still-valid load) — never a
+// crash, OOM, or sanitizer report. This is the acceptance gate for the
+// loader hardening: a hostile header may not drive an allocation, and a
+// mutated payload may not smuggle out-of-range neighbor ids into search.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "graph/csr_graph.h"
+#include "graph/fixed_degree_graph.h"
+#include "graph/nsw_builder.h"
+#include "gtest/gtest.h"
+
+namespace song {
+namespace {
+
+std::vector<uint8_t> ReadAll(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::vector<uint8_t> bytes;
+  uint8_t buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+void WriteAll(const std::string& path, const std::vector<uint8_t>& bytes) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  if (!bytes.empty()) {
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  }
+  std::fclose(f);
+}
+
+/// Applies one deterministic mutation drawn from `rng` to a copy of
+/// `pristine`: truncation, 1–16 bit flips, garbage extension, or a header
+/// overwrite with an extreme value (the hostile-allocation case).
+std::vector<uint8_t> Mutate(const std::vector<uint8_t>& pristine,
+                            std::mt19937_64& rng) {
+  std::vector<uint8_t> bytes = pristine;
+  switch (rng() % 4) {
+    case 0: {  // truncate anywhere, including to zero bytes
+      bytes.resize(rng() % (bytes.size() + 1));
+      break;
+    }
+    case 1: {  // flip 1..16 random bits
+      const size_t flips = 1 + rng() % 16;
+      for (size_t i = 0; i < flips && !bytes.empty(); ++i) {
+        bytes[rng() % bytes.size()] ^= uint8_t{1} << (rng() % 8);
+      }
+      break;
+    }
+    case 2: {  // append random garbage
+      const size_t extra = 1 + rng() % 256;
+      for (size_t i = 0; i < extra; ++i) {
+        bytes.push_back(static_cast<uint8_t>(rng()));
+      }
+      break;
+    }
+    default: {  // stomp a header field with an extreme count
+      const uint64_t extremes[] = {0, ~0ull, uint64_t{1} << 62,
+                                   uint64_t{1} << 41, 0x4141414141414141ull};
+      const uint64_t v = extremes[rng() % 5];
+      const size_t header = std::min<size_t>(bytes.size(), 24);
+      if (header >= sizeof(v)) {
+        const size_t off = rng() % (header - sizeof(v) + 1);
+        std::memcpy(bytes.data() + off, &v, sizeof(v));
+      }
+      break;
+    }
+  }
+  return bytes;
+}
+
+struct FuzzFixture {
+  std::string dataset_path;
+  std::string graph_path;
+  std::string csr_path;
+  std::vector<uint8_t> dataset_bytes;
+  std::vector<uint8_t> graph_bytes;
+  std::vector<uint8_t> csr_bytes;
+
+  static const FuzzFixture& Get() {
+    static FuzzFixture* f = [] {
+      auto* fx = new FuzzFixture();
+      const std::string dir = ::testing::TempDir();
+      fx->dataset_path = dir + "/corrupt_fuzz.sngd";
+      fx->graph_path = dir + "/corrupt_fuzz.sngg";
+      fx->csr_path = dir + "/corrupt_fuzz.sngc";
+
+      Dataset data(200, 16);
+      std::mt19937_64 rng(0x51a7e57);
+      std::vector<float> row(16);
+      for (size_t i = 0; i < data.num(); ++i) {
+        for (float& v : row) {
+          v = static_cast<float>(rng() % 1000) / 100.0f;
+        }
+        data.SetRow(static_cast<idx_t>(i), row.data());
+      }
+      EXPECT_TRUE(data.Save(fx->dataset_path).ok());
+
+      NswBuildOptions nsw;
+      nsw.degree = 8;
+      nsw.num_threads = 1;
+      const FixedDegreeGraph graph = NswBuilder::Build(data, Metric::kL2, nsw);
+      EXPECT_TRUE(graph.Save(fx->graph_path).ok());
+      EXPECT_TRUE(CsrGraph::FromFixedDegree(graph).Save(fx->csr_path).ok());
+
+      fx->dataset_bytes = ReadAll(fx->dataset_path);
+      fx->graph_bytes = ReadAll(fx->graph_path);
+      fx->csr_bytes = ReadAll(fx->csr_path);
+      return fx;
+    }();
+    return *f;
+  }
+};
+
+constexpr size_t kRoundsPerFormat = 100;  // 300 mutated files total
+
+TEST(HarnessCorruptFileFuzz, DatasetLoadNeverCrashes) {
+  const FuzzFixture& fx = FuzzFixture::Get();
+  std::mt19937_64 rng(0xD47A);
+  const std::string path = fx.dataset_path + ".mut";
+  for (size_t round = 0; round < kRoundsPerFormat; ++round) {
+    WriteAll(path, Mutate(fx.dataset_bytes, rng));
+    StatusOr<Dataset> loaded = Dataset::Load(path);
+    if (loaded.ok()) {
+      // A load that survives mutation must still be internally consistent.
+      EXPECT_GT(loaded->dim(), 0u) << "round " << round;
+      EXPECT_GT(loaded->num(), 0u) << "round " << round;
+    } else {
+      EXPECT_FALSE(loaded.status().message().empty()) << "round " << round;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(HarnessCorruptFileFuzz, FixedDegreeGraphLoadNeverCrashes) {
+  const FuzzFixture& fx = FuzzFixture::Get();
+  std::mt19937_64 rng(0x6A4F);
+  const std::string path = fx.graph_path + ".mut";
+  for (size_t round = 0; round < kRoundsPerFormat; ++round) {
+    WriteAll(path, Mutate(fx.graph_bytes, rng));
+    StatusOr<FixedDegreeGraph> loaded = FixedDegreeGraph::Load(path);
+    if (loaded.ok()) {
+      // Bounds validation is part of the load contract: every surviving
+      // neighbor id must be a real vertex (search indexes rows with them).
+      const FixedDegreeGraph& g = loaded.value();
+      for (size_t v = 0; v < g.num_vertices(); ++v) {
+        for (const idx_t u : g.Neighbors(static_cast<idx_t>(v))) {
+          ASSERT_LT(u, g.num_vertices()) << "round " << round;
+        }
+      }
+    } else {
+      EXPECT_FALSE(loaded.status().message().empty()) << "round " << round;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(HarnessCorruptFileFuzz, CsrGraphLoadNeverCrashes) {
+  const FuzzFixture& fx = FuzzFixture::Get();
+  std::mt19937_64 rng(0xC54);
+  const std::string path = fx.csr_path + ".mut";
+  for (size_t round = 0; round < kRoundsPerFormat; ++round) {
+    WriteAll(path, Mutate(fx.csr_bytes, rng));
+    StatusOr<CsrGraph> loaded = CsrGraph::Load(path);
+    if (loaded.ok()) {
+      EXPECT_TRUE(loaded->Validate().ok()) << "round " << round;
+    } else {
+      EXPECT_FALSE(loaded.status().message().empty()) << "round " << round;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(HarnessCorruptFileFuzz, PristineFilesRoundTrip) {
+  const FuzzFixture& fx = FuzzFixture::Get();
+  EXPECT_TRUE(Dataset::Load(fx.dataset_path).ok());
+  EXPECT_TRUE(FixedDegreeGraph::Load(fx.graph_path).ok());
+  EXPECT_TRUE(CsrGraph::Load(fx.csr_path).ok());
+}
+
+TEST(HarnessCorruptFileFuzz, MissingFileIsStatusNotCrash) {
+  const StatusOr<Dataset> d = Dataset::Load("/nonexistent/dir/x.sngd");
+  EXPECT_FALSE(d.ok());
+  const StatusOr<FixedDegreeGraph> g =
+      FixedDegreeGraph::Load("/nonexistent/dir/x.sngg");
+  EXPECT_FALSE(g.ok());
+  const StatusOr<CsrGraph> c = CsrGraph::Load("/nonexistent/dir/x.sngc");
+  EXPECT_FALSE(c.ok());
+}
+
+}  // namespace
+}  // namespace song

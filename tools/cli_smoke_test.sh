@@ -33,4 +33,66 @@ python3 "$TOOLS_DIR/validate_telemetry.py" \
       --trace "$DIR/out.trace.json" \
       --metrics-json "$DIR/metrics.json" \
       --metrics "$DIR/metrics.prom"
+
+# --- Robustness smoke cases (docs/robustness.md) ---------------------------
+
+# expect_fail <expected-exit> <grep-pattern> -- <cli args...>
+# Runs the CLI expecting a nonzero exit and a diagnostic on stderr.
+expect_fail() {
+  local want_exit="$1" pattern="$2"; shift 3
+  local stderr_file="$DIR/stderr.txt" code=0
+  "$CLI" "$@" >/dev/null 2>"$stderr_file" || code=$?
+  if [ "$code" -ne "$want_exit" ]; then
+    echo "FAIL: expected exit $want_exit, got $code for: $*" >&2
+    cat "$stderr_file" >&2
+    exit 1
+  fi
+  if ! grep -q "$pattern" "$stderr_file"; then
+    echo "FAIL: stderr missing \"$pattern\" for: $*" >&2
+    cat "$stderr_file" >&2
+    exit 1
+  fi
+}
+
+# Missing input file: diagnostic + exit 1, never a crash.
+expect_fail 1 "" -- stats --graph "$DIR/no_such_file.sngg"
+
+# Corrupt (truncated) graph: DataLoss diagnostic + exit 1.
+head -c 24 "$DIR/graph.sngg" > "$DIR/trunc.sngg"
+expect_fail 1 "DataLoss" -- stats --graph "$DIR/trunc.sngg"
+
+# Corrupt dataset fed to search: DataLoss diagnostic + exit 1.
+head -c 10 "$DIR/data.sngd" > "$DIR/trunc.sngd"
+expect_fail 1 "DataLoss" -- search --data "$DIR/trunc.sngd" \
+      --graph "$DIR/graph.sngg" --queries "$DIR/q.sngd"
+
+# Unknown flag and malformed numeric flag: usage errors, exit 2.
+expect_fail 2 "unknown flag" -- search --data "$DIR/data.sngd" \
+      --graph "$DIR/graph.sngg" --queries "$DIR/q.sngd" --no-such-flag 1
+expect_fail 2 "non-negative integer" -- search --data "$DIR/data.sngd" \
+      --graph "$DIR/graph.sngg" --queries "$DIR/q.sngd" --k banana
+expect_fail 2 "requires --fault-spec" -- search --data "$DIR/data.sngd" \
+      --graph "$DIR/graph.sngg" --queries "$DIR/q.sngd" --fault-seed 7
+
+# Malformed fault spec: diagnostic + exit 2.
+expect_fail 2 "invalid --fault-spec" -- search --data "$DIR/data.sngd" \
+      --graph "$DIR/graph.sngg" --queries "$DIR/q.sngd" --fault-spec "oops=2"
+
+# Deadline and cost budgets: run must succeed and report degraded counts.
+OUT=$("$CLI" search --data "$DIR/data.sngd" --graph "$DIR/graph.sngg" \
+      --queries "$DIR/q.sngd" --k 10 --queue 96 --deadline-us 1000000)
+echo "$OUT" | grep -q "degraded queries: "
+OUT=$("$CLI" search --data "$DIR/data.sngd" --graph "$DIR/graph.sngg" \
+      --queries "$DIR/q.sngd" --k 10 --queue 96 --cost-budget 1)
+echo "$OUT" | grep -q "degraded queries: "
+
+# Fault injection: an always-on transfer fault must fail the search with a
+# retryable diagnostic; a zero-rate spec must not change anything.
+expect_fail 1 "transfer.htod" -- search --data "$DIR/data.sngd" \
+      --graph "$DIR/graph.sngg" --queries "$DIR/q.sngd" \
+      --fault-spec "transfer.htod=1" --fault-seed 7
+"$CLI" search --data "$DIR/data.sngd" --graph "$DIR/graph.sngg" \
+      --queries "$DIR/q.sngd" --k 10 --fault-spec "transfer.htod=0" \
+      | grep -q "faults injected: 0"
+
 echo "CLI SMOKE OK"

@@ -14,7 +14,17 @@
 //                     [--gt gt.sngd] [--gpu v100|p40|titanx]
 //                     [--metrics out.prom] [--metrics-json out.json]
 //                     [--trace out.trace.json] [--trace-sample 100]
+//                     [--deadline-us N] [--cost-budget N]
+//                     [--max-inflight N]
+//                     [--fault-spec spec] [--fault-seed N]
 //   song_cli version  (build info: SIMD tiers detected/compiled/active)
+//
+// Robustness (docs/robustness.md): --deadline-us / --cost-budget cap each
+// query's work, returning best-so-far results tagged degraded;
+// --max-inflight sheds batches past the limit; --fault-spec arms the
+// deterministic fault registry (site=prob[@max],... — see
+// core/fault_injection.h). Errors never raise exceptions: malformed flags
+// exit 2, corrupt or missing inputs exit 1 with a Status diagnostic.
 //
 // Telemetry: --metrics / --metrics-json dump the batch's MetricsRegistry in
 // Prometheus text / JSON. --trace writes sampled per-query Chrome trace_event
@@ -23,14 +33,18 @@
 //
 // Everything uses the library's binary formats (SNGD datasets, SNGG graphs).
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
+#include <initializer_list>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "baselines/flat_index.h"
+#include "core/fault_injection.h"
 #include "core/recall.h"
 #include "core/simd.h"
 #include "core/timer.h"
@@ -66,6 +80,26 @@ Flags ParseFlags(int argc, char** argv, int first) {
   return flags;
 }
 
+/// Rejects flags a command does not understand — a typo'd flag silently
+/// falling back to a default is how bad benchmarks get published.
+void CheckFlags(const Flags& flags, const char* cmd,
+                std::initializer_list<const char*> allowed) {
+  for (const auto& [key, value] : flags) {
+    bool known = false;
+    for (const char* a : allowed) {
+      if (key == a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::fprintf(stderr, "unknown flag --%s for command %s\n", key.c_str(),
+                   cmd);
+      std::exit(2);
+    }
+  }
+}
+
 std::string Require(const Flags& flags, const std::string& key) {
   const auto it = flags.find(key);
   if (it == flags.end()) {
@@ -79,6 +113,24 @@ std::string Optional(const Flags& flags, const std::string& key,
                      const std::string& fallback) {
   const auto it = flags.find(key);
   return it == flags.end() ? fallback : it->second;
+}
+
+/// Strict non-negative integer flag parse; a trailing junk suffix or an
+/// out-of-range value is a usage error (exit 2), not a silent zero.
+uint64_t ParseUint(const Flags& flags, const std::string& key,
+                   const std::string& fallback) {
+  const std::string value = Optional(flags, key, fallback);
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  if (value.empty() || value[0] == '-' || end == value.c_str() ||
+      *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr,
+                 "flag --%s expects a non-negative integer, got \"%s\"\n",
+                 key.c_str(), value.c_str());
+    std::exit(2);
+  }
+  return v;
 }
 
 Metric ParseMetric(const std::string& name) {
@@ -111,12 +163,13 @@ Dataset LoadDatasetOrDie(const std::string& path) {
   auto loaded = Dataset::Load(path);
   if (!loaded.ok()) {
     std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
-    std::exit(1);
+    std::exit(loaded.status().ExitCode());
   }
   return std::move(loaded.value());
 }
 
 int CmdGen(const Flags& flags) {
+  CheckFlags(flags, "gen", {"preset", "scale", "out", "queries"});
   const std::string preset = Require(flags, "preset");
   const double scale = std::atof(Optional(flags, "scale", "1.0").c_str());
   SyntheticSpec spec = PresetSpec(preset, scale > 0 ? scale : 1.0);
@@ -143,12 +196,15 @@ int CmdGen(const Flags& flags) {
 }
 
 int CmdBuild(const Flags& flags) {
+  CheckFlags(flags, "build", {"data", "out", "degree", "ef", "metric"});
   const Dataset data = LoadDatasetOrDie(Require(flags, "data"));
   NswBuildOptions options;
-  options.degree = std::strtoul(Optional(flags, "degree", "16").c_str(),
-                                nullptr, 10);
-  options.ef_construction =
-      std::strtoul(Optional(flags, "ef", "100").c_str(), nullptr, 10);
+  options.degree = ParseUint(flags, "degree", "16");
+  options.ef_construction = ParseUint(flags, "ef", "100");
+  if (options.degree == 0) {
+    std::fprintf(stderr, "flag --degree must be >= 1\n");
+    return 2;
+  }
   const Metric metric = ParseMetric(Optional(flags, "metric", "l2"));
   Timer timer;
   const FixedDegreeGraph graph = NswBuilder::Build(data, metric, options);
@@ -163,10 +219,11 @@ int CmdBuild(const Flags& flags) {
 }
 
 int CmdStats(const Flags& flags) {
+  CheckFlags(flags, "stats", {"graph"});
   auto loaded = FixedDegreeGraph::Load(Require(flags, "graph"));
   if (!loaded.ok()) {
     std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
-    return 1;
+    return loaded.status().ExitCode();
   }
   const GraphStats stats = ComputeGraphStats(loaded.value());
   std::printf("vertices:        %zu\n", stats.num_vertices);
@@ -180,10 +237,14 @@ int CmdStats(const Flags& flags) {
 }
 
 int CmdGroundTruth(const Flags& flags) {
+  CheckFlags(flags, "gt", {"data", "queries", "k", "metric", "out"});
   const Dataset data = LoadDatasetOrDie(Require(flags, "data"));
   const Dataset queries = LoadDatasetOrDie(Require(flags, "queries"));
-  const size_t k = std::strtoul(Optional(flags, "k", "100").c_str(),
-                                nullptr, 10);
+  const size_t k = ParseUint(flags, "k", "100");
+  if (k == 0 || k > data.num()) {
+    std::fprintf(stderr, "flag --k must be in [1, %zu]\n", data.num());
+    return 2;
+  }
   const Metric metric = ParseMetric(Optional(flags, "metric", "l2"));
   FlatIndex flat(&data, metric);
   const auto results = flat.BatchSearch(queries, k);
@@ -215,22 +276,45 @@ GraphReorder ParseReorder(const std::string& name) {
 }
 
 int CmdSearch(const Flags& flags) {
+  CheckFlags(flags, "search",
+             {"data", "graph", "queries", "metric", "k", "queue", "config",
+              "reorder", "gt", "gpu", "metrics", "metrics-json", "trace",
+              "trace-sample", "deadline-us", "cost-budget", "max-inflight",
+              "fault-spec", "fault-seed"});
+
+  const std::string fault_spec = Optional(flags, "fault-spec", "");
+  if (!fault_spec.empty()) {
+    const uint64_t fault_seed = ParseUint(flags, "fault-seed", "42");
+    const Status fs =
+        fault::FaultRegistry::Global().Configure(fault_spec, fault_seed);
+    if (!fs.ok()) {
+      std::fprintf(stderr, "invalid --fault-spec: %s\n",
+                   fs.ToString().c_str());
+      return fs.ExitCode();
+    }
+  } else if (flags.count("fault-seed") != 0) {
+    std::fprintf(stderr, "--fault-seed requires --fault-spec\n");
+    return 2;
+  }
+
   Dataset data = LoadDatasetOrDie(Require(flags, "data"));
   const Dataset queries = LoadDatasetOrDie(Require(flags, "queries"));
   auto graph_loaded = FixedDegreeGraph::Load(Require(flags, "graph"));
   if (!graph_loaded.ok()) {
     std::fprintf(stderr, "%s\n", graph_loaded.status().ToString().c_str());
-    return 1;
+    return graph_loaded.status().ExitCode();
   }
   FixedDegreeGraph graph = std::move(graph_loaded.value());
   const Metric metric = ParseMetric(Optional(flags, "metric", "l2"));
-  const size_t k = std::strtoul(Optional(flags, "k", "10").c_str(), nullptr,
-                                10);
+  const size_t k = ParseUint(flags, "k", "10");
   SongSearchOptions options =
       ParseConfig(Optional(flags, "config", "seldel"));
-  options.queue_size = std::strtoul(Optional(flags, "queue", "64").c_str(),
-                                    nullptr, 10);
+  options.queue_size = ParseUint(flags, "queue", "64");
   options.reorder = ParseReorder(Optional(flags, "reorder", "none"));
+  options.deadline_us = ParseUint(flags, "deadline-us", "0");
+  options.cost_budget = ParseUint(flags, "cost-budget", "0");
+  BatchAdmission admission;
+  admission.max_inflight = ParseUint(flags, "max-inflight", "0");
 
   idx_t entry = 0;
   std::vector<idx_t> result_id_map;
@@ -266,14 +350,29 @@ int CmdSearch(const Flags& flags) {
         Optional(flags, "trace-sample", "1").c_str(), nullptr, 10));
   }
 
-  const SimulatedRun run =
-      SimulateBatch(searcher, queries, k, options, gpu, /*num_threads=*/0,
-                    telemetry);
+  StatusOr<SimulatedRun> run_or =
+      TrySimulateBatch(searcher, queries, k, options, gpu, /*num_threads=*/0,
+                       telemetry, admission);
+  if (!run_or.ok()) {
+    std::fprintf(stderr, "search failed: %s\n",
+                 run_or.status().ToString().c_str());
+    return run_or.status().ExitCode();
+  }
+  const SimulatedRun run = std::move(run_or).value();
 
   std::printf("queries: %zu, k=%zu, queue=%zu, config=%s\n", queries.num(),
               k, options.queue_size, options.Name().c_str());
   std::printf("CPU wall: %.3fs (%.0f QPS)\n", run.batch.wall_seconds,
               run.batch.Qps());
+  if (options.deadline_us > 0 || options.cost_budget > 0 ||
+      run.batch.queries_degraded > 0) {
+    std::printf("degraded queries: %zu / %zu (budget-terminated)\n",
+                run.batch.queries_degraded, run.batch.num_queries);
+  }
+  if (run.batch.queries_rejected > 0) {
+    std::printf("rejected queries: %zu / %zu (failed validation)\n",
+                run.batch.queries_rejected, run.batch.num_queries);
+  }
   std::printf("simulated %s: %.0f QPS (locate %.1f%% / distance %.1f%% / "
               "maintain %.1f%%)\n",
               gpu.name.c_str(), run.SimQps(), run.gpu.LocatePct(),
@@ -297,6 +396,16 @@ int CmdSearch(const Flags& flags) {
     std::printf("query 0 top-%zu:", k);
     for (const Neighbor& n : first) std::printf(" %u(%.3f)", n.id, n.dist);
     std::printf("\n");
+  }
+
+  fault::FaultRegistry& faults = fault::FaultRegistry::Global();
+  if (faults.enabled()) {
+    registry.GetCounter("song.faults.injected")
+        .Increment(faults.injected_total());
+    std::printf("faults injected: %llu (spec \"%s\", seed %llu)\n",
+                static_cast<unsigned long long>(faults.injected_total()),
+                faults.spec().c_str(),
+                static_cast<unsigned long long>(faults.seed()));
   }
 
   int status = 0;
@@ -364,14 +473,27 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
-  const std::string cmd = argv[1];
-  const Flags flags = ParseFlags(argc, argv, 2);
-  if (cmd == "gen") return CmdGen(flags);
-  if (cmd == "build") return CmdBuild(flags);
-  if (cmd == "stats") return CmdStats(flags);
-  if (cmd == "gt") return CmdGroundTruth(flags);
-  if (cmd == "search") return CmdSearch(flags);
-  if (cmd == "version") return CmdVersion();
-  Usage();
-  return 2;
+  // Library errors surface as Status; anything thrown past this point is a
+  // bug, but the CLI still exits with a diagnostic instead of aborting.
+  try {
+    const std::string cmd = argv[1];
+    const Flags flags = ParseFlags(argc, argv, 2);
+    if (cmd == "gen") return CmdGen(flags);
+    if (cmd == "build") return CmdBuild(flags);
+    if (cmd == "stats") return CmdStats(flags);
+    if (cmd == "gt") return CmdGroundTruth(flags);
+    if (cmd == "search") return CmdSearch(flags);
+    if (cmd == "version") {
+      CheckFlags(flags, "version", {});
+      return CmdVersion();
+    }
+    Usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "song_cli: fatal: %s\n", e.what());
+    return 1;
+  } catch (...) {
+    std::fprintf(stderr, "song_cli: fatal: unknown exception\n");
+    return 1;
+  }
 }
