@@ -47,6 +47,16 @@ void Dataset::SetRow(idx_t i, const float* values) {
   }
 }
 
+Dataset Dataset::CopyGrown(size_t new_num) const {
+  SONG_CHECK(new_num >= num_);
+  Dataset out(new_num, dim_);
+  if (num_ > 0) {
+    std::memcpy(out.data_.data(), data_.data(),
+                num_ * stride_ * sizeof(float));
+  }
+  return out;
+}
+
 void Dataset::NormalizeRows() {
   for (size_t i = 0; i < num_; ++i) {
     float* row = Row(static_cast<idx_t>(i));

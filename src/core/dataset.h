@@ -75,6 +75,11 @@ class Dataset {
   /// workloads). Zero rows are left unchanged.
   void NormalizeRows();
 
+  /// Copy with the row count grown to `new_num` (>= current); existing rows
+  /// are preserved bit-for-bit, new rows are zero. Same dim/stride. The
+  /// copy-on-write step of MutableIndex::Insert.
+  Dataset CopyGrown(size_t new_num) const;
+
   /// Serialization: magic "SNGD", u32 dim, u64 num, then num*dim floats
   /// (unpadded).
   Status Save(const std::string& path) const;

@@ -78,6 +78,13 @@ bool FixedDegreeGraph::AddNeighbor(idx_t v, idx_t u) {
   return false;
 }
 
+FixedDegreeGraph FixedDegreeGraph::CopyGrown(size_t new_num_vertices) const {
+  SONG_CHECK(new_num_vertices >= num_vertices_);
+  FixedDegreeGraph g(new_num_vertices, degree_);
+  std::copy(slots_.begin(), slots_.end(), g.slots_.begin());
+  return g;
+}
+
 Status FixedDegreeGraph::Save(const std::string& path) const {
   if (fault::ShouldFail("io.write")) {
     return Status::Unavailable("injected fault: io.write " + path);

@@ -63,6 +63,12 @@ class FixedDegreeGraph {
   /// row is full or the edge already exists.
   bool AddNeighbor(idx_t v, idx_t u);
 
+  /// Copy with the vertex count grown to `new_num_vertices` (>= current);
+  /// existing rows are preserved, new rows start empty. The copy-on-write
+  /// step of MutableIndex::Insert: published snapshots stay immutable, the
+  /// writer links into the grown clone before publishing it.
+  FixedDegreeGraph CopyGrown(size_t new_num_vertices) const;
+
   /// Total bytes of the slot array — the "index memory size" of Table III.
   size_t MemoryBytes() const { return slots_.size_bytes(); }
 

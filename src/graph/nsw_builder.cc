@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <queue>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "core/thread_pool.h"
@@ -138,14 +141,15 @@ std::vector<Neighbor> BuildTimeSearch(
   return out;
 }
 
+}  // namespace
+
 // Occlusion-pruned neighbor selection (the HNSW "heuristic", Algorithm 4 of
 // Malkov & Yashunin): scan candidates ascending; keep c unless some already
 // kept r is closer to c than c is to the center. Produces diverse, navigable
 // edges instead of a tight clique around the center.
-std::vector<idx_t> SelectDiverse(const Dataset& data, Metric metric,
-                                 idx_t center,
-                                 const std::vector<Neighbor>& sorted_pool,
-                                 size_t m) {
+std::vector<idx_t> NswBuilder::SelectDiverse(
+    const Dataset& data, Metric metric, idx_t center,
+    const std::vector<Neighbor>& sorted_pool, size_t m) {
   const DistanceFunc dist = GetDistanceFunc(metric);
   const size_t dim = data.dim();
   std::vector<idx_t> selected;
@@ -177,8 +181,6 @@ std::vector<idx_t> SelectDiverse(const Dataset& data, Metric metric,
   }
   return selected;
 }
-
-}  // namespace
 
 FixedDegreeGraph NswBuilder::Build(const Dataset& data, Metric metric,
                                    const NswBuildOptions& options) {
@@ -247,17 +249,21 @@ void NswBuilder::RepairConnectivity(const Dataset& data, Metric metric,
   // with in-degree 0 (unreachable from the entry vertex). Re-attach each
   // unreachable vertex v by forcing an edge from its nearest reachable
   // out-neighbor (falling back to the entry vertex), evicting that row's
-  // farthest neighbor when full. A handful of rounds always converges: each
-  // round strictly grows the reachable set.
+  // farthest neighbor when full. Edges this repair itself adds are pinned
+  // against later evictions: without the pin, two orphans sharing one full
+  // anchor evict each other's attachment forever (the thrash showed up as
+  // unreachable live points in the online-mutation differential). With it,
+  // every attach makes monotone progress, so the round loop converges.
   const size_t n = graph->num_vertices();
   const DistanceFunc dist = GetDistanceFunc(metric);
   const size_t dim = data.dim();
+  std::set<std::pair<idx_t, idx_t>> pinned;
   // Chain anchor: the most recently attached vertex (persists across
   // rounds). Attaching through it when the preferred anchor's row is full
   // avoids evictions that could disconnect previously repaired vertices
   // (adversarial case: many orphans all pointing at one full hub).
   idx_t spare_anchor = 0;
-  for (int round = 0; round < 16; ++round) {
+  for (int round = 0; round < 64; ++round) {
     std::vector<bool> seen(n, false);
     std::vector<idx_t> stack{0};
     seen[0] = true;
@@ -288,26 +294,55 @@ void NswBuilder::RepairConnectivity(const Dataset& data, Metric metric,
           break;
         }
       }
-      bool attached = graph->AddNeighbor(anchor, v);
-      if (!attached && spare_anchor != v) {
-        attached = graph->AddNeighbor(spare_anchor, v);
-      }
-      if (!attached) {
-        // Both rows full: evict the farthest neighbor of the preferred
-        // anchor (a later BFS round re-repairs anything this disconnects).
-        std::vector<idx_t> row = graph->Neighbors(anchor);
-        size_t worst = 0;
-        float worst_d = -1.0f;
+      // AddNeighbor also returns false when the edge already exists (the
+      // anchor may be another orphan attached earlier this round whose row
+      // already pointed at v) — that case IS an attachment, and falling
+      // through to the evict write below would duplicate v in the row.
+      const auto has_edge = [graph](idx_t from, idx_t to) {
+        const idx_t* r = graph->Row(from);
+        for (size_t i = 0; i < graph->degree() && r[i] != kInvalidIdx; ++i) {
+          if (r[i] == to) return true;
+        }
+        return false;
+      };
+      // Evicts the farthest unpinned neighbor of `a` to make room for v (a
+      // later BFS round re-repairs anything this disconnects); refuses when
+      // every slot holds a pinned repair edge.
+      const auto evict_into = [&](idx_t a) {
+        std::vector<idx_t> row = graph->Neighbors(a);
+        size_t worst = row.size();
+        // Inner-product "distances" are negative, so the no-candidate
+        // sentinel must be -inf, not -1.
+        float worst_d = -std::numeric_limits<float>::infinity();
         for (size_t i = 0; i < row.size(); ++i) {
-          const float d = dist(data.Row(anchor), data.Row(row[i]), dim);
+          if (pinned.count({a, row[i]}) != 0) continue;
+          const float d = dist(data.Row(a), data.Row(row[i]), dim);
           if (d > worst_d) {
             worst_d = d;
             worst = i;
           }
         }
+        if (worst == row.size()) return false;
         row[worst] = v;
-        graph->SetNeighbors(anchor, row);
+        graph->SetNeighbors(a, row);
+        return true;
+      };
+      idx_t attached_via = anchor;
+      bool attached = has_edge(anchor, v) || graph->AddNeighbor(anchor, v);
+      if (!attached && spare_anchor != v) {
+        attached =
+            has_edge(spare_anchor, v) || graph->AddNeighbor(spare_anchor, v);
+        if (attached) attached_via = spare_anchor;
       }
+      if (!attached) {
+        attached = evict_into(anchor);
+        if (!attached && spare_anchor != v && evict_into(spare_anchor)) {
+          attached = true;
+          attached_via = spare_anchor;
+        }
+      }
+      if (!attached) continue;  // both rows fully pinned; next round
+      pinned.insert({attached_via, v});
       seen[vi] = true;  // attached to the reachable component
       spare_anchor = v;
     }

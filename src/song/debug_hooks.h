@@ -24,6 +24,14 @@ inline bool smmh_sift_off_by_one = false;
 /// capacity and the search starts treating unvisited vertices as visited.
 inline bool hash_set_skip_growth = false;
 
+/// Planted mutation C: MutableIndex::Insert skips the reverse-link step, so
+/// a newly inserted vertex keeps its out-edges but gains no in-edges — it is
+/// unreachable from the entry point and silently never returned (the online-
+/// mutation analogue of mutation A's "recall degrades, nothing crashes").
+/// The mutation differential harness must catch this via its post-insert
+/// reachability probe (tests/harness/selftest_test.cc).
+inline bool mutation_drop_reverse_links = false;
+
 /// RAII guard so a failing self-test cannot leak an enabled fault into
 /// subsequent tests.
 class ScopedFault {

@@ -1,0 +1,73 @@
+#include "song/index_snapshot.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+
+namespace song {
+
+IndexSnapshot::IndexSnapshot(std::shared_ptr<const Dataset> data,
+                             std::shared_ptr<const FixedDegreeGraph> graph,
+                             std::shared_ptr<const std::vector<uint8_t>> tombstones,
+                             Metric metric, idx_t entry, uint64_t version)
+    : data_(std::move(data)),
+      graph_(std::move(graph)),
+      tombstones_(std::move(tombstones)),
+      metric_(metric),
+      entry_(entry),
+      version_(version) {
+  SONG_CHECK(data_ != nullptr && graph_ != nullptr && tombstones_ != nullptr);
+  SONG_CHECK(tombstones_->size() == data_->num());
+  SONG_CHECK(graph_->num_vertices() == data_->num());
+  live_points_ = static_cast<size_t>(
+      std::count(tombstones_->begin(), tombstones_->end(), uint8_t{0}));
+  if (data_->num() > 0) {
+    SONG_CHECK(entry_ < data_->num());
+    searcher_.emplace(data_.get(), graph_.get(), metric_, entry_);
+  }
+}
+
+size_t IndexSnapshot::CompensatedK(size_t k) const {
+  return std::min(num_points(), k + tombstone_count());
+}
+
+std::vector<Neighbor> IndexSnapshot::Search(const float* query, size_t k,
+                                            const SongSearchOptions& options,
+                                            SongWorkspace* workspace,
+                                            SearchStats* stats,
+                                            bool* degraded) const {
+  if (degraded != nullptr) *degraded = false;
+  if (k == 0 || live_points_ == 0 || !searcher_.has_value()) return {};
+  const size_t k_eff = CompensatedK(k);
+  std::vector<Neighbor> raw =
+      searcher_->Search(query, k_eff, options, workspace, stats,
+                        /*trace=*/nullptr, degraded);
+  if (tombstone_count() == 0) {
+    // k_eff == k and nothing to filter: the frozen path returns the searcher
+    // output untouched (the strict no-op contract).
+    return raw;
+  }
+  std::vector<Neighbor> out;
+  out.reserve(std::min(k, raw.size()));
+  for (const Neighbor& n : raw) {
+    if ((*tombstones_)[n.id] != 0) continue;
+    out.push_back(n);
+    if (out.size() == k) break;
+  }
+  return out;
+}
+
+StatusOr<std::vector<Neighbor>> IndexSnapshot::TrySearch(
+    const float* query, size_t k, const SongSearchOptions& options,
+    SongWorkspace* workspace, SearchStats* stats, bool* degraded) const {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (live_points_ == 0 || !searcher_.has_value()) {
+    if (degraded != nullptr) *degraded = false;
+    return std::vector<Neighbor>{};
+  }
+  SONG_RETURN_IF_ERROR(
+      searcher_->ValidateRequest(query, CompensatedK(k), options));
+  return Search(query, k, options, workspace, stats, degraded);
+}
+
+}  // namespace song

@@ -1,8 +1,11 @@
 #include "harness/fuzz.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <unordered_set>
@@ -11,12 +14,15 @@
 #include "core/dataset.h"
 #include "core/distance.h"
 #include "core/random.h"
+#include "core/status.h"
 #include "graph/fixed_degree_graph.h"
 #include "harness/oracles.h"
 #include "harness/reference_search.h"
 #include "song/bloom_filter.h"
 #include "song/bounded_heap.h"
 #include "song/cuckoo_filter.h"
+#include "song/index_snapshot.h"
+#include "song/mutable_index.h"
 #include "song/open_addressing_set.h"
 #include "song/search_core.h"
 
@@ -887,6 +893,434 @@ DifferentialReport FuzzProbabilisticSearchSanity(VisitedStructure structure,
        << recall_prob / rounds << ") implausibly exceeds exact-visited ("
        << recall_exact / rounds << ")";
     report.Fail(os.str());
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Online-mutation differential.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<float> RandomPoint(RandomEngine& rng, size_t dim) {
+  std::vector<float> v(dim);
+  for (size_t d = 0; d < dim; ++d) {
+    v[d] = static_cast<float>(rng.NextUniform(-1.0, 1.0));
+  }
+  if (v[0] == 0.0f) v[0] = 0.5f;  // keep vectors nonzero for cosine
+  return v;
+}
+
+/// Randomized per-query option set over the round's structure — the same
+/// universe MakeInstance draws from, minus the instance geometry.
+SongSearchOptions RandomMutationOptions(RandomEngine& rng,
+                                        VisitedStructure structure, size_t n) {
+  SongSearchOptions o;
+  o.structure = structure;
+  o.queue_size = 1 + rng.NextUint(48);
+  o.selected_insertion = rng.NextUint(2) == 0;
+  o.visited_deletion = rng.NextUint(2) == 0;
+  const size_t steps[4] = {1, 1, 2, 4};
+  o.multi_step_probe = steps[rng.NextUint(4)];
+  if (structure == VisitedStructure::kHashTable) {
+    o.hash_capacity = rng.NextUint(2) == 0 ? 0 : n + 1;
+  } else if (structure == VisitedStructure::kBloomFilter) {
+    o.bloom_bits = rng.NextUint(2) == 0 ? 0 : (1024u << rng.NextUint(4));
+  }
+  return o;
+}
+
+bool SameNeighbors(const std::vector<Neighbor>& a,
+                   const std::vector<Neighbor>& b) {
+  return a.size() == b.size() &&
+         std::equal(a.begin(), a.end(), b.begin(),
+                    [](const Neighbor& x, const Neighbor& y) {
+                      return x == y;
+                    });
+}
+
+}  // namespace
+
+DifferentialReport FuzzMutationDifferential(VisitedStructure structure,
+                                            uint64_t seed, size_t rounds) {
+  DifferentialReport report;
+  SongWorkspace workspace;  // reused across rounds and snapshot versions
+  const bool exact = structure == VisitedStructure::kHashTable ||
+                     structure == VisitedStructure::kEpochArray;
+  for (size_t round = 0; round < rounds; ++round) {
+    const uint64_t rseed =
+        DeriveSeed(seed, 0x80 + static_cast<uint64_t>(structure), round);
+    RandomEngine rng(rseed);
+    const std::string ctx = Ctx("Mutation", seed, round);
+    bool round_ok = true;
+
+    const size_t dim = 1 + rng.NextUint(16);
+    const Metric metric = static_cast<Metric>(rng.NextUint(3));
+    MutableIndexOptions mopts;
+    mopts.degree = 3 + rng.NextUint(8);
+    mopts.ef_construction = 8 + rng.NextUint(40);
+    MutableIndex index(metric, dim, mopts);
+    OracleDynamicIndex oracle(metric, dim);
+    uint64_t expected_version = 0;
+
+    // Half the rounds adopt a frozen connected graph (the upgrade path for
+    // pre-built indexes); the rest grow from empty. The ring edge keeps the
+    // adopted graph reachable from entry 0, matching what NswBuilder
+    // guarantees and what online inserts maintain via RepairConnectivity.
+    if (rng.NextUint(2) == 0) {
+      const size_t n0 = 2 + rng.NextUint(50);
+      Dataset points(n0, dim);
+      for (size_t i = 0; i < n0; ++i) {
+        const std::vector<float> p = RandomPoint(rng, dim);
+        points.SetRow(static_cast<idx_t>(i), p.data());
+        oracle.Insert(p.data());
+      }
+      std::vector<std::vector<idx_t>> adjacency(n0);
+      for (size_t v = 0; v < n0; ++v) {
+        adjacency[v].push_back(static_cast<idx_t>((v + 1) % n0));
+        const size_t extra = rng.NextUint(mopts.degree);
+        for (size_t e = 0; e < extra; ++e) {
+          const idx_t u = static_cast<idx_t>(rng.NextUint(n0));
+          if (u == v) continue;
+          if (std::find(adjacency[v].begin(), adjacency[v].end(), u) ==
+              adjacency[v].end()) {
+            adjacency[v].push_back(u);
+          }
+        }
+      }
+      const Status adopted = index.AdoptFrozen(
+          std::move(points),
+          FixedDegreeGraph::FromAdjacency(adjacency, mopts.degree));
+      ++report.checks;
+      if (!adopted.ok()) {
+        report.Fail(ctx + "AdoptFrozen failed: " + adopted.ToString());
+        continue;
+      }
+      expected_version = 1;
+    }
+
+    auto check_counts = [&](const char* op) {
+      ++report.checks;
+      if (index.num_points() != oracle.num_points() ||
+          index.live_points() != oracle.live_count() ||
+          index.version() != expected_version) {
+        std::ostringstream os;
+        os << ctx << op << ": counts drifted (points " << index.num_points()
+           << " vs " << oracle.num_points() << ", live "
+           << index.live_points() << " vs " << oracle.live_count()
+           << ", version " << index.version() << " vs " << expected_version
+           << ")";
+        report.Fail(os.str());
+        return false;
+      }
+      return true;
+    };
+
+    // Ample-ef exact search from `query`: with every vertex reachable from
+    // the entry (the RepairConnectivity invariant), an ef >= n epoch-array
+    // search cannot terminate early, so its result must be *precisely* the
+    // oracle's live set. This is the probe that catches the planted
+    // drop-reverse-links mutation.
+    auto check_all_live_reachable = [&](const float* query, const char* what) {
+      const std::shared_ptr<const IndexSnapshot> snapshot = index.Acquire();
+      SongSearchOptions ample = SongSearchOptions::CpuEngineered();
+      ample.queue_size = snapshot->num_points() + 4;
+      const std::vector<Neighbor> got = snapshot->Search(
+          query, std::max<size_t>(1, oracle.live_count()), ample, &workspace);
+      std::vector<idx_t> got_ids;
+      got_ids.reserve(got.size());
+      for (const Neighbor& n : got) got_ids.push_back(n.id);
+      std::sort(got_ids.begin(), got_ids.end());
+      ++report.checks;
+      if (got_ids != oracle.LiveIds()) {
+        std::ostringstream os;
+        os << ctx << what << ": ample search returned " << got_ids.size()
+           << " of " << oracle.live_count()
+           << " live points (version " << snapshot->version()
+           << ", n=" << snapshot->num_points() << ") — some live vertex is "
+           << "unreachable or a dead one leaked through";
+        report.Fail(os.str());
+        return false;
+      }
+      return true;
+    };
+
+    // Mid-round pin for the end-of-round isolation replay.
+    std::shared_ptr<const IndexSnapshot> pinned;
+    std::vector<float> pinned_query;
+    size_t pinned_k = 0;
+    SongSearchOptions pinned_options;
+    std::vector<Neighbor> pinned_result;
+
+    const size_t ops = 20 + rng.NextUint(80);
+    for (size_t op = 0; op < ops && round_ok; ++op) {
+      const uint64_t kind = rng.NextUint(10);
+      if (kind < 4) {
+        // --- Insert. ---
+        const std::vector<float> p = RandomPoint(rng, dim);
+        const StatusOr<idx_t> inserted = index.Insert(p.data());
+        ++report.checks;
+        if (!inserted.ok()) {
+          report.Fail(ctx + "Insert failed: " + inserted.status().ToString());
+          round_ok = false;
+          break;
+        }
+        const idx_t want_id = oracle.Insert(p.data());
+        ++expected_version;
+        ++report.checks;
+        if (inserted.value() != want_id) {
+          report.Fail(ctx + "Insert id " + std::to_string(inserted.value()) +
+                      " vs oracle " + std::to_string(want_id));
+          round_ok = false;
+          break;
+        }
+        round_ok = check_counts("Insert") &&
+                   check_all_live_reachable(p.data(), "post-insert");
+      } else if (kind < 6) {
+        // --- Delete (including double-delete probes). ---
+        const std::vector<idx_t> live = oracle.LiveIds();
+        if (live.empty()) {
+          const Status s = index.Delete(0);
+          ++report.checks;
+          if (s.ok()) {
+            report.Fail(ctx + "Delete on an empty/dead index succeeded");
+            round_ok = false;
+          }
+          continue;
+        }
+        const idx_t victim = live[rng.NextUint(live.size())];
+        const Status s = index.Delete(victim);
+        oracle.Delete(victim);
+        ++expected_version;
+        ++report.checks;
+        if (!s.ok()) {
+          report.Fail(ctx + "Delete(" + std::to_string(victim) +
+                      ") failed: " + s.ToString());
+          round_ok = false;
+          break;
+        }
+        round_ok = check_counts("Delete");
+        if (round_ok && rng.NextUint(4) == 0) {
+          const Status again = index.Delete(victim);
+          ++report.checks;
+          if (again.code() != StatusCode::kNotFound) {
+            report.Fail(ctx + "double Delete(" + std::to_string(victim) +
+                        ") returned " + again.ToString() +
+                        " instead of NotFound");
+            round_ok = false;
+          }
+        }
+      } else if (kind < 9) {
+        // --- Search differential. ---
+        const std::vector<float> q = RandomPoint(rng, dim);
+        const size_t k = 1 + rng.NextUint(12);
+        const SongSearchOptions options =
+            RandomMutationOptions(rng, structure, index.num_points());
+        const std::shared_ptr<const IndexSnapshot> snapshot = index.Acquire();
+        const std::vector<Neighbor> got =
+            snapshot->Search(q.data(), k, options, &workspace);
+
+        if (snapshot->live_points() == 0) {
+          ++report.checks;
+          if (!got.empty()) {
+            report.Fail(ctx + "search on a fully-deleted index returned " +
+                        std::to_string(got.size()) + " results");
+            round_ok = false;
+          }
+          continue;
+        }
+
+        // The snapshot's tombstone view must track the oracle exactly.
+        for (idx_t id = 0;
+             round_ok && id < static_cast<idx_t>(snapshot->num_points());
+             ++id) {
+          if (snapshot->IsLive(id) != oracle.IsLive(id)) {
+            ++report.checks;
+            report.Fail(ctx + "IsLive(" + std::to_string(id) +
+                        ") disagrees with the oracle");
+            round_ok = false;
+          }
+        }
+        if (!round_ok) break;
+
+        // The searcher computes distances through its own BatchDistance, so
+        // the mirror must too — bit-identical per row within a SIMD tier.
+        const BatchDistance bd(metric, &snapshot->data());
+        const float qn = bd.QueryNormSqr(q.data());
+        const auto mirror = [&](idx_t v) { return bd.Compute(q.data(), qn, v); };
+
+        ++report.checks;
+        if (got.size() > k) {
+          report.Fail(ctx + "search returned more than k results");
+          round_ok = false;
+          break;
+        }
+        for (size_t i = 0; i < got.size() && round_ok; ++i) {
+          ++report.checks;
+          if (got[i].id >= snapshot->num_points() ||
+              !oracle.IsLive(got[i].id)) {
+            report.Fail(ctx + "search returned dead or out-of-range id " +
+                        std::to_string(got[i].id));
+            round_ok = false;
+            break;
+          }
+          if (i > 0 && !(got[i - 1] < got[i])) {
+            report.Fail(ctx + "search results not strictly ascending");
+            round_ok = false;
+            break;
+          }
+          if (got[i].dist != mirror(got[i].id)) {
+            report.Fail(ctx + "fabricated distance for id " +
+                        std::to_string(got[i].id));
+            round_ok = false;
+            break;
+          }
+          // Payload integrity: the snapshot's row must be byte-equal to the
+          // vector the oracle recorded at insert time.
+          if (std::memcmp(snapshot->data().Row(got[i].id),
+                          oracle.Vector(got[i].id),
+                          dim * sizeof(float)) != 0) {
+            report.Fail(ctx + "payload row for id " +
+                        std::to_string(got[i].id) +
+                        " differs from the inserted vector");
+            round_ok = false;
+            break;
+          }
+        }
+        if (!round_ok) break;
+
+        if (exact) {
+          // Full mirror: reference search at the compensated k over the
+          // snapshot graph, then the identical tombstone filter + truncate.
+          const size_t k_eff = snapshot->CompensatedK(k);
+          const size_t ef = std::max(options.queue_size, k_eff);
+          const size_t cap =
+              structure == VisitedStructure::kHashTable
+                  ? internal::AutoHashCapacity(options, ef,
+                                               snapshot->num_points())
+                  : 0;
+          const ReferenceSearchResult ref =
+              ReferenceSongSearch(snapshot->graph(), snapshot->entry(), k_eff,
+                                  options, cap, mirror);
+          std::vector<Neighbor> want;
+          want.reserve(std::min(k, ref.results.size()));
+          for (const Neighbor& n : ref.results) {
+            if (!snapshot->IsLive(n.id)) continue;
+            want.push_back(n);
+            if (want.size() == k) break;
+          }
+          ++report.checks;
+          if (!SameNeighbors(got, want)) {
+            std::ostringstream os;
+            os << ctx << "search mismatch vs reference (" << got.size()
+               << " vs " << want.size() << " results, n="
+               << snapshot->num_points() << " live="
+               << snapshot->live_points() << " k=" << k << " queue="
+               << options.queue_size << " sel=" << options.selected_insertion
+               << " del=" << options.visited_deletion << " steps="
+               << options.multi_step_probe << " cap="
+               << options.hash_capacity << " metric=" << MetricName(metric)
+               << " structure=" << VisitedStructureName(structure) << ")";
+            report.Fail(os.str());
+            round_ok = false;
+          }
+        }
+      } else {
+        // --- Error-path probes (must not bump the version). ---
+        switch (rng.NextUint(3)) {
+          case 0: {
+            const StatusOr<idx_t> r = index.Insert(nullptr);
+            ++report.checks;
+            if (r.ok()) {
+              report.Fail(ctx + "Insert(nullptr) succeeded");
+              round_ok = false;
+            }
+            break;
+          }
+          case 1: {
+            std::vector<float> bad = RandomPoint(rng, dim);
+            bad[rng.NextUint(dim)] = std::nanf("");
+            const StatusOr<idx_t> r = index.Insert(bad.data());
+            ++report.checks;
+            if (r.ok()) {
+              report.Fail(ctx + "Insert of a NaN vector succeeded");
+              round_ok = false;
+            }
+            break;
+          }
+          case 2: {
+            const idx_t bogus =
+                static_cast<idx_t>(index.num_points() + 5 + rng.NextUint(10));
+            const Status s = index.Delete(bogus);
+            ++report.checks;
+            if (s.code() != StatusCode::kOutOfRange) {
+              report.Fail(ctx + "Delete(" + std::to_string(bogus) +
+                          ") returned " + s.ToString() +
+                          " instead of OutOfRange");
+              round_ok = false;
+            }
+            break;
+          }
+        }
+        if (round_ok) round_ok = check_counts("error probe");
+      }
+
+      // Maybe pin a snapshot now; it must replay bit-identically at round
+      // end, after every later mutation.
+      if (round_ok && pinned == nullptr && oracle.live_count() > 0 &&
+          rng.NextUint(4) == 0) {
+        pinned = index.Acquire();
+        pinned_query = RandomPoint(rng, dim);
+        pinned_k = 1 + rng.NextUint(8);
+        pinned_options =
+            RandomMutationOptions(rng, structure, pinned->num_points());
+        pinned_result = pinned->Search(pinned_query.data(), pinned_k,
+                                       pinned_options, &workspace);
+      }
+    }
+
+    if (round_ok) {
+      // Structural sanity of the final graph: in-range neighbor ids, no
+      // self loops, no duplicate slots.
+      const std::shared_ptr<const IndexSnapshot> snapshot = index.Acquire();
+      const FixedDegreeGraph& graph = snapshot->graph();
+      for (size_t v = 0; round_ok && v < graph.num_vertices(); ++v) {
+        const std::vector<idx_t> row =
+            graph.Neighbors(static_cast<idx_t>(v));
+        std::set<idx_t> uniq(row.begin(), row.end());
+        ++report.checks;
+        if (uniq.size() != row.size() ||
+            uniq.count(static_cast<idx_t>(v)) != 0 ||
+            (!row.empty() && *uniq.rbegin() >= graph.num_vertices())) {
+          report.Fail(ctx + "malformed adjacency row at vertex " +
+                      std::to_string(v));
+          round_ok = false;
+        }
+      }
+    }
+
+    if (round_ok && pinned != nullptr) {
+      const std::vector<Neighbor> replay = pinned->Search(
+          pinned_query.data(), pinned_k, pinned_options, &workspace);
+      ++report.checks;
+      if (!SameNeighbors(replay, pinned_result)) {
+        report.Fail(ctx + "pinned snapshot (version " +
+                    std::to_string(pinned->version()) +
+                    ") replay differs after later mutations");
+        round_ok = false;
+      }
+    }
+    pinned.reset();
+
+    // With every reader pin dropped, reclamation must drain the retired
+    // list completely.
+    index.ReclaimRetired();
+    ++report.checks;
+    if (round_ok && index.retired_versions() != 0) {
+      report.Fail(ctx + std::to_string(index.retired_versions()) +
+                  " retired versions survived reclamation with no reader");
+    }
   }
   return report;
 }

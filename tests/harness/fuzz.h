@@ -95,6 +95,30 @@ DifferentialReport FuzzSearchDifferential(VisitedStructure structure,
 DifferentialReport FuzzProbabilisticSearchSanity(VisitedStructure structure,
                                                  uint64_t seed, size_t rounds);
 
+// --- Online-mutation differential. ---
+
+/// One round = one fresh MutableIndex (randomly empty-start or adopting a
+/// frozen connected graph) driven through a seed-derived interleaving of
+/// insert / delete / search ops, mirrored against an incrementally
+/// maintained OracleDynamicIndex. Checks per op:
+///  - ids, point/live counts and version numbers track the oracle exactly;
+///  - every inserted vertex is immediately reachable: an ample-ef exact
+///    search must return precisely the oracle's live set (this is the probe
+///    that catches the planted drop-reverse-links mutation);
+///  - searches with the round's randomized options return sorted, unique,
+///    live ids with genuine distances and payload rows byte-equal to the
+///    oracle's vectors; for exact structures (`structure` = hash table or
+///    epoch array) the result must equal the oracle-backed reference search
+///    element-for-element after the same tombstone filter + truncation;
+///  - a snapshot pinned mid-round returns bit-identical results when
+///    re-queried at round end, after every later mutation (isolation);
+///  - error paths (null/NaN insert, double delete, out-of-range delete)
+///    return the documented Status codes;
+///  - after the round's pins are dropped, ReclaimRetired sweeps every
+///    retired version.
+DifferentialReport FuzzMutationDifferential(VisitedStructure structure,
+                                            uint64_t seed, size_t rounds);
+
 }  // namespace song::harness
 
 #endif  // SONG_TESTS_HARNESS_FUZZ_H_

@@ -12,11 +12,14 @@
 #ifndef SONG_TESTS_HARNESS_ORACLES_H_
 #define SONG_TESTS_HARNESS_ORACLES_H_
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <set>
 #include <unordered_set>
 #include <vector>
 
+#include "core/distance.h"
 #include "core/types.h"
 
 namespace song::harness {
@@ -113,6 +116,73 @@ class OracleVisitedSet {
  private:
   std::unordered_set<idx_t> set_;
   size_t capacity_ = 0;
+};
+
+/// Oracle twin of MutableIndex: a flat store of vectors with live flags.
+/// Insert appends, Delete flips a flag, TopK is an exhaustive scan over the
+/// live rows — slow and correct by construction. Ids are dense and never
+/// reused, mirroring the production contract (the i-th insert gets id i and
+/// a deleted id stays dead forever).
+class OracleDynamicIndex {
+ public:
+  OracleDynamicIndex(Metric metric, size_t dim) : metric_(metric), dim_(dim) {}
+
+  Metric metric() const { return metric_; }
+  size_t dim() const { return dim_; }
+  size_t num_points() const { return live_.size(); }
+  size_t live_count() const { return live_count_; }
+  bool IsLive(idx_t id) const { return id < live_.size() && live_[id] != 0; }
+
+  idx_t Insert(const float* vector) {
+    vectors_.insert(vectors_.end(), vector, vector + dim_);
+    live_.push_back(1);
+    ++live_count_;
+    return static_cast<idx_t>(live_.size() - 1);
+  }
+
+  /// False when the id was never assigned or is already dead.
+  bool Delete(idx_t id) {
+    if (!IsLive(id)) return false;
+    live_[id] = 0;
+    --live_count_;
+    return true;
+  }
+
+  const float* Vector(idx_t id) const {
+    return vectors_.data() + static_cast<size_t>(id) * dim_;
+  }
+
+  std::vector<idx_t> LiveIds() const {
+    std::vector<idx_t> out;
+    out.reserve(live_count_);
+    for (size_t id = 0; id < live_.size(); ++id) {
+      if (live_[id] != 0) out.push_back(static_cast<idx_t>(id));
+    }
+    return out;
+  }
+
+  /// Exact top-k over the live rows, ascending — Neighbor's (dist, id)
+  /// ordering breaks ties, so the answer is unique.
+  std::vector<Neighbor> TopK(const float* query, size_t k) const {
+    const DistanceFunc dist = GetDistanceFunc(metric_);
+    std::vector<Neighbor> all;
+    all.reserve(live_count_);
+    for (size_t id = 0; id < live_.size(); ++id) {
+      if (live_[id] == 0) continue;
+      all.emplace_back(dist(query, Vector(static_cast<idx_t>(id)), dim_),
+                       static_cast<idx_t>(id));
+    }
+    std::sort(all.begin(), all.end());
+    if (all.size() > k) all.resize(k);
+    return all;
+  }
+
+ private:
+  Metric metric_;
+  size_t dim_;
+  std::vector<float> vectors_;  ///< row-major, including dead rows
+  std::vector<uint8_t> live_;
+  size_t live_count_ = 0;
 };
 
 }  // namespace song::harness

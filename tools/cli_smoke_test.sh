@@ -86,6 +86,48 @@ OUT=$("$CLI" search --data "$DIR/data.sngd" --graph "$DIR/graph.sngg" \
       --queries "$DIR/q.sngd" --k 10 --queue 96 --cost-budget 1)
 echo "$OUT" | grep -q "degraded queries: "
 
+# --- Online mutation smoke cases (docs/testing.md) -------------------------
+
+# Churn the index, serve from the final snapshot, and keep recall against
+# the exact live-set scan decent; metrics must record the mutations.
+OUT=$("$CLI" search --data "$DIR/data.sngd" --graph "$DIR/graph.sngg" \
+      --queries "$DIR/q.sngd" --k 10 --queue 96 \
+      --mutate-spec rounds=3,inserts=15,deletes=5,seed=11 \
+      --metrics-json "$DIR/mutate_metrics.json")
+echo "$OUT"
+echo "$OUT" | grep -q "mutated index: 45 inserts, 15 deletes"
+RECALL=$(echo "$OUT" | sed -n 's/recall@10 vs live set: //p')
+python3 - "$RECALL" <<'PY'
+import sys
+assert float(sys.argv[1]) >= 0.8, f"churned recall too low: {sys.argv[1]}"
+PY
+python3 - "$DIR/mutate_metrics.json" <<'PY'
+import json, sys
+m = json.load(open(sys.argv[1]))
+flat = m.get("counters", m)
+def find(name):
+    if isinstance(flat, dict) and name in flat: return flat[name]
+    for section in m.values():
+        if isinstance(section, dict) and name in section: return section[name]
+    raise AssertionError(f"{name} missing from metrics JSON")
+assert find("song.index.inserts") == 45
+assert find("song.index.deletes") == 15
+PY
+
+# Malformed spec / illegal flag combinations: usage errors, exit 2.
+expect_fail 2 "rounds >= 1" -- search --data "$DIR/data.sngd" \
+      --graph "$DIR/graph.sngg" --queries "$DIR/q.sngd" \
+      --mutate-spec inserts=5
+expect_fail 2 "malformed --mutate-spec" -- search --data "$DIR/data.sngd" \
+      --graph "$DIR/graph.sngg" --queries "$DIR/q.sngd" \
+      --mutate-spec rounds=banana
+expect_fail 2 "incompatible with --gt" -- search --data "$DIR/data.sngd" \
+      --graph "$DIR/graph.sngg" --queries "$DIR/q.sngd" \
+      --mutate-spec rounds=1,inserts=5 --gt "$DIR/gt.sngd"
+expect_fail 2 "incompatible with --reorder" -- search --data "$DIR/data.sngd" \
+      --graph "$DIR/graph.sngg" --queries "$DIR/q.sngd" \
+      --mutate-spec rounds=1,inserts=5 --reorder bfs
+
 # Fault injection: an always-on transfer fault must fail the search with a
 # retryable diagnostic; a zero-rate spec must not change anything.
 expect_fail 1 "transfer.htod" -- search --data "$DIR/data.sngd" \

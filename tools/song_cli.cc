@@ -17,7 +17,15 @@
 //                     [--deadline-us N] [--cost-budget N]
 //                     [--max-inflight N]
 //                     [--fault-spec spec] [--fault-seed N]
+//                     [--mutate-spec rounds=R,inserts=I,deletes=D[,seed=S]]
 //   song_cli version  (build info: SIMD tiers detected/compiled/active)
+//
+// Online mutation (docs/testing.md): --mutate-spec adopts the loaded
+// data/graph into a MutableIndex, applies R rounds of I inserts (noisy
+// copies of random live points) and D tombstone deletes, then serves the
+// queries from the final snapshot and reports recall against an exact scan
+// of the live set. Incompatible with --reorder and --gt (both refer to the
+// frozen point set, which mutation invalidates).
 //
 // Robustness (docs/robustness.md): --deadline-us / --cost-budget cap each
 // query's work, returning best-so-far results tagged degraded;
@@ -45,6 +53,7 @@
 
 #include "baselines/flat_index.h"
 #include "core/fault_injection.h"
+#include "core/random.h"
 #include "core/recall.h"
 #include "core/simd.h"
 #include "core/timer.h"
@@ -54,6 +63,8 @@
 #include "graph/nsw_builder.h"
 #include "graph/reorder.h"
 #include "obs/exporters.h"
+#include "song/index_snapshot.h"
+#include "song/mutable_index.h"
 #include "song/song_searcher.h"
 
 namespace {
@@ -275,12 +286,201 @@ GraphReorder ParseReorder(const std::string& name) {
   std::exit(2);
 }
 
+struct MutateSpec {
+  uint64_t rounds = 0;
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
+  uint64_t seed = 42;
+};
+
+/// Parses "rounds=R,inserts=I,deletes=D[,seed=S]"; exits 2 on malformed
+/// input, matching the strictness of the other flag parsers.
+MutateSpec ParseMutateSpec(const std::string& spec) {
+  MutateSpec out;
+  bool have_rounds = false;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string part = spec.substr(pos, comma - pos);
+    const size_t eq = part.find('=');
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long v =
+        eq == std::string::npos
+            ? 0
+            : std::strtoull(part.c_str() + eq + 1, &end, 10);
+    const bool bad = eq == std::string::npos || end == part.c_str() + eq + 1 ||
+                     *end != '\0' || errno == ERANGE;
+    const std::string key = part.substr(0, eq);
+    if (!bad && key == "rounds") {
+      out.rounds = v;
+      have_rounds = true;
+    } else if (!bad && key == "inserts") {
+      out.inserts = v;
+    } else if (!bad && key == "deletes") {
+      out.deletes = v;
+    } else if (!bad && key == "seed") {
+      out.seed = v;
+    } else {
+      std::fprintf(stderr,
+                   "malformed --mutate-spec component \"%s\" (expected "
+                   "rounds=R,inserts=I,deletes=D[,seed=S])\n",
+                   part.c_str());
+      std::exit(2);
+    }
+    pos = comma + 1;
+  }
+  if (!have_rounds || out.rounds == 0) {
+    std::fprintf(stderr, "--mutate-spec requires rounds >= 1\n");
+    std::exit(2);
+  }
+  return out;
+}
+
+/// The --mutate-spec leg of CmdSearch: churn the adopted index, then serve
+/// the queries from the final snapshot with recall against an exact scan of
+/// the live set.
+int RunMutateSearch(const Flags& flags, Dataset data, FixedDegreeGraph graph,
+                    const Dataset& queries, Metric metric, size_t k,
+                    const SongSearchOptions& options,
+                    const MutateSpec& spec) {
+  obs::MetricsRegistry registry;
+  MutableIndexOptions mopts;
+  mopts.degree = graph.degree();
+  MutableIndex index(metric, data.dim(), mopts, &registry);
+  {
+    // AdoptFrozen consumes its arguments; the oracle scan below reads rows
+    // back through the snapshot, so no second copy is needed.
+    const Status adopted = index.AdoptFrozen(std::move(data), std::move(graph));
+    if (!adopted.ok()) {
+      std::fprintf(stderr, "adopt failed: %s\n", adopted.ToString().c_str());
+      return adopted.ExitCode();
+    }
+  }
+
+  RandomEngine rng(spec.seed);
+  const size_t dim = index.dim();
+  std::vector<float> point(dim);
+  Timer mutate_timer;
+  uint64_t inserts_done = 0;
+  uint64_t deletes_done = 0;
+  for (uint64_t round = 0; round < spec.rounds; ++round) {
+    for (uint64_t i = 0; i < spec.inserts; ++i) {
+      // A noisy copy of a random live point keeps inserts on-distribution
+      // without assuming anything about the dataset.
+      const std::shared_ptr<const IndexSnapshot> cur = index.Acquire();
+      idx_t base = static_cast<idx_t>(rng.NextUint(cur->num_points()));
+      while (!cur->IsLive(base)) {
+        base = static_cast<idx_t>(rng.NextUint(cur->num_points()));
+      }
+      const float* row = cur->data().Row(base);
+      for (size_t d = 0; d < dim; ++d) {
+        point[d] = row[d] + static_cast<float>(rng.NextGaussian() * 0.05);
+      }
+      const StatusOr<idx_t> id = index.Insert(point.data());
+      if (!id.ok()) {
+        std::fprintf(stderr, "insert failed: %s\n",
+                     id.status().ToString().c_str());
+        return id.status().ExitCode();
+      }
+      ++inserts_done;
+    }
+    for (uint64_t i = 0; i < spec.deletes && index.live_points() > 1; ++i) {
+      const std::shared_ptr<const IndexSnapshot> cur = index.Acquire();
+      idx_t victim = static_cast<idx_t>(rng.NextUint(cur->num_points()));
+      while (!cur->IsLive(victim)) {
+        victim = static_cast<idx_t>(rng.NextUint(cur->num_points()));
+      }
+      const Status s = index.Delete(victim);
+      if (!s.ok()) {
+        std::fprintf(stderr, "delete failed: %s\n", s.ToString().c_str());
+        return s.ExitCode();
+      }
+      ++deletes_done;
+    }
+  }
+  index.ReclaimRetired();
+  const std::shared_ptr<const IndexSnapshot> snapshot = index.Acquire();
+  std::printf(
+      "mutated index: %llu inserts, %llu deletes in %.2fs "
+      "(%zu points, %zu live, version %llu, %zu retired snapshots)\n",
+      static_cast<unsigned long long>(inserts_done),
+      static_cast<unsigned long long>(deletes_done),
+      mutate_timer.ElapsedSeconds(), snapshot->num_points(),
+      snapshot->live_points(), static_cast<unsigned long long>(index.version()),
+      index.retired_versions());
+
+  // Serve the queries from the final snapshot; exact live-set scan for
+  // recall (the frozen --gt file is meaningless after mutation).
+  SongWorkspace workspace;
+  Timer search_timer;
+  const DistanceFunc dist = GetDistanceFunc(metric);
+  size_t hits = 0;
+  size_t denom = 0;
+  for (size_t q = 0; q < queries.num(); ++q) {
+    const float* query = queries.Row(static_cast<idx_t>(q));
+    const StatusOr<std::vector<Neighbor>> got =
+        snapshot->TrySearch(query, k, options, &workspace);
+    if (!got.ok()) {
+      std::fprintf(stderr, "query %zu failed: %s\n", q,
+                   got.status().ToString().c_str());
+      return got.status().ExitCode();
+    }
+    std::vector<Neighbor> truth;
+    for (size_t id = 0; id < snapshot->num_points(); ++id) {
+      if (!snapshot->IsLive(static_cast<idx_t>(id))) continue;
+      truth.emplace_back(
+          dist(query, snapshot->data().Row(static_cast<idx_t>(id)), dim),
+          static_cast<idx_t>(id));
+    }
+    std::sort(truth.begin(), truth.end());
+    if (truth.size() > k) truth.resize(k);
+    denom += truth.size();
+    for (const Neighbor& n : got.value()) {
+      for (const Neighbor& t : truth) {
+        if (n.id == t.id) {
+          ++hits;
+          break;
+        }
+      }
+    }
+  }
+  std::printf("queries: %zu, k=%zu, queue=%zu, config=%s\n", queries.num(), k,
+              options.queue_size, options.Name().c_str());
+  std::printf("search wall: %.3fs (%.0f QPS)\n", search_timer.ElapsedSeconds(),
+              queries.num() / std::max(1e-9, search_timer.ElapsedSeconds()));
+  std::printf("recall@%zu vs live set: %.4f\n", k,
+              denom == 0 ? 0.0 : static_cast<double>(hits) / denom);
+
+  int status = 0;
+  const std::string metrics_path = Optional(flags, "metrics", "");
+  if (!metrics_path.empty()) {
+    if (obs::WriteStringToFile(metrics_path,
+                               obs::MetricsToPrometheusText(registry))) {
+      std::printf("wrote Prometheus metrics to %s\n", metrics_path.c_str());
+    } else {
+      status = 1;
+    }
+  }
+  const std::string metrics_json_path = Optional(flags, "metrics-json", "");
+  if (!metrics_json_path.empty()) {
+    if (obs::WriteStringToFile(metrics_json_path,
+                               obs::MetricsToJson(registry))) {
+      std::printf("wrote JSON metrics to %s\n", metrics_json_path.c_str());
+    } else {
+      status = 1;
+    }
+  }
+  return status;
+}
+
 int CmdSearch(const Flags& flags) {
   CheckFlags(flags, "search",
              {"data", "graph", "queries", "metric", "k", "queue", "config",
               "reorder", "gt", "gpu", "metrics", "metrics-json", "trace",
               "trace-sample", "deadline-us", "cost-budget", "max-inflight",
-              "fault-spec", "fault-seed"});
+              "fault-spec", "fault-seed", "mutate-spec"});
 
   const std::string fault_spec = Optional(flags, "fault-spec", "");
   if (!fault_spec.empty()) {
@@ -315,6 +515,25 @@ int CmdSearch(const Flags& flags) {
   options.cost_budget = ParseUint(flags, "cost-budget", "0");
   BatchAdmission admission;
   admission.max_inflight = ParseUint(flags, "max-inflight", "0");
+
+  const std::string mutate_spec = Optional(flags, "mutate-spec", "");
+  if (!mutate_spec.empty()) {
+    if (options.reorder != GraphReorder::kNone) {
+      std::fprintf(stderr,
+                   "--mutate-spec is incompatible with --reorder (the "
+                   "reordered id space is frozen)\n");
+      return 2;
+    }
+    if (flags.count("gt") != 0) {
+      std::fprintf(stderr,
+                   "--mutate-spec is incompatible with --gt (ground truth "
+                   "refers to the pre-mutation point set); recall is "
+                   "computed against an exact scan of the live set\n");
+      return 2;
+    }
+    return RunMutateSearch(flags, std::move(data), std::move(graph), queries,
+                           metric, k, options, ParseMutateSpec(mutate_spec));
+  }
 
   idx_t entry = 0;
   std::vector<idx_t> result_id_map;
