@@ -5,13 +5,27 @@
 //  * open-addressing hash set vs Bloom vs Cuckoo filter ops — the §IV-B/E
 //    alternatives;
 //  * probe cost as the open-addressing table fills.
+//
+// Before the google-benchmark suite runs, main() executes a structure sweep
+// (best-of-reps, mirroring bench_micro_distance.cc) and, with
+// SONG_BENCH_JSON_DIR set, writes BENCH_micro_structures.json —
+// bench/baselines/ holds the committed reference tools/bench_gate.py
+// compares against. SONG_BENCH_SMOKE=1 shrinks the rep count for CI.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <queue>
 #include <random>
+#include <string>
 #include <vector>
 
+#include "bench_common.h"
+#include "core/simd.h"
+#include "obs/exporters.h"
 #include "song/bloom_filter.h"
 #include "song/bounded_heap.h"
 #include "song/cuckoo_filter.h"
@@ -113,7 +127,164 @@ void BM_CuckooInsertEraseCycle(benchmark::State& state) {
 }
 BENCHMARK(BM_CuckooInsertEraseCycle)->Arg(128)->Arg(1024)->Arg(8192);
 
+// ---------------------------------------------------------------------------
+// Structure sweep (runs once from main, before google-benchmark). Each cell
+// times the same op mix as its google-benchmark sibling above, best-of-reps
+// with a calibrated pass count so scheduler jitter cannot dominate.
+// ---------------------------------------------------------------------------
+
+struct StructureResult {
+  const char* structure = "";
+  size_t size = 0;
+  double ns_per_op = 0.0;
+};
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Best-of-`reps` wall time of `one_pass`, amortized over enough passes to
+/// fill ~1 ms, divided by `ops` per pass -> ns/op.
+template <typename Fn>
+double TimeCell(size_t reps, size_t ops, const Fn& one_pass) {
+  const double warm_start = Now();
+  one_pass();  // warms caches and calibrates the pass count
+  const double warm = std::max(Now() - warm_start, 1e-9);
+  const size_t passes = std::max<size_t>(1, static_cast<size_t>(1e-3 / warm));
+  double best = 1e30;
+  for (size_t r = 0; r < reps; ++r) {
+    const double start = Now();
+    for (size_t p = 0; p < passes; ++p) one_pass();
+    best = std::min(best, (Now() - start) / static_cast<double>(passes));
+  }
+  return best * 1e9 / static_cast<double>(ops);
+}
+
+std::string StructuresToJson(const std::vector<StructureResult>& results) {
+  std::string out = "{\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  \"schema_version\": %d,\n"
+                "  \"bench\": \"micro_structures\",\n",
+                bench::kBenchJsonSchemaVersion);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "  \"git_describe\": \"%s\",\n",
+                bench::BenchGitDescribe());
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"cpu_tier\": \"%s\",\n  \"active_tier\": \"%s\",\n",
+                SimdTierName(CpuSimdTier()), SimdTierName(ActiveSimdTier()));
+  out += buf;
+  out += "  \"results\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const StructureResult& r = results[i];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"structure\": \"%s\", \"size\": %zu, "
+                  "\"ns_per_op\": %.3f}%s\n",
+                  r.structure, r.size, r.ns_per_op,
+                  i + 1 < results.size() ? "," : "");
+    out += buf;
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+void RunStructureSweep() {
+  const bool smoke = std::getenv("SONG_BENCH_SMOKE") != nullptr;
+  const size_t reps = smoke ? 3 : 31;
+  std::vector<StructureResult> results;
+
+  std::printf("structure sweep (best of %zu)\n", reps);
+  std::printf("%-22s %8s %12s\n", "structure", "size", "ns/op");
+  const auto emit = [&](const char* structure, size_t size, double ns) {
+    results.push_back({structure, size, ns});
+    std::printf("%-22s %8zu %12.2f\n", structure, size, ns);
+  };
+
+  const auto stream = MakeStream(4096, 42);
+  for (const size_t capacity : {size_t{16}, size_t{64}, size_t{256},
+                                size_t{1024}}) {
+    SymmetricMinMaxHeap heap(capacity);
+    emit("smmh_bounded_stream", capacity,
+         TimeCell(reps, stream.size(), [&] {
+           heap.Clear();
+           for (const Neighbor& n : stream) {
+             heap.PushBounded(n);
+             if (heap.size() > capacity / 2 && (n.id & 7) == 0) {
+               benchmark::DoNotOptimize(heap.PopMin());
+             }
+           }
+           benchmark::DoNotOptimize(heap.size());
+         }));
+    emit("std_priority_queue_stream", capacity,
+         TimeCell(reps, stream.size(), [&] {
+           std::priority_queue<Neighbor, std::vector<Neighbor>,
+                               std::greater<>> q;
+           size_t popped = 0;
+           for (const Neighbor& n : stream) {
+             q.push(n);
+             if (q.size() > capacity / 2 && (n.id & 7) == 0) {
+               benchmark::DoNotOptimize(q.top());
+               q.pop();
+               ++popped;
+             }
+           }
+           benchmark::DoNotOptimize(popped + q.size());
+         }));
+  }
+
+  for (const size_t n : {size_t{128}, size_t{1024}, size_t{8192}}) {
+    OpenAddressingSet set(n);
+    emit("open_addressing_insert_contains", n, TimeCell(reps, 2 * n, [&] {
+           set.Clear();
+           for (idx_t i = 0; i < n; ++i) set.Insert(i * 2654435761u);
+           size_t hits = 0;
+           for (idx_t i = 0; i < n; ++i) hits += set.Contains(i * 2654435761u);
+           benchmark::DoNotOptimize(hits);
+         }));
+    BloomFilter bloom(10 * n);
+    emit("bloom_insert_contains", n, TimeCell(reps, 2 * n, [&] {
+           bloom.Clear();
+           for (idx_t i = 0; i < n; ++i) bloom.Insert(i * 2654435761u);
+           size_t hits = 0;
+           for (idx_t i = 0; i < n; ++i) {
+             hits += bloom.Contains(i * 2654435761u);
+           }
+           benchmark::DoNotOptimize(hits);
+         }));
+    CuckooFilter filter(n);
+    emit("cuckoo_insert_erase_cycle", n, TimeCell(reps, 2 * n, [&] {
+           filter.Clear();
+           for (idx_t i = 0; i < n; ++i) filter.Insert(i * 2654435761u);
+           for (idx_t i = 0; i < n; i += 2) filter.Erase(i * 2654435761u);
+           size_t hits = 0;
+           for (idx_t i = 0; i < n; ++i) {
+             hits += filter.Contains(i * 2654435761u);
+           }
+           benchmark::DoNotOptimize(hits);
+         }));
+  }
+
+  const char* dir = std::getenv("SONG_BENCH_JSON_DIR");
+  if (dir != nullptr && *dir != '\0') {
+    const std::string path =
+        std::string(dir) + "/BENCH_micro_structures.json";
+    if (obs::WriteStringToFile(path, StructuresToJson(results))) {
+      std::printf("wrote %s\n", path.c_str());
+    }
+  }
+}
+
 }  // namespace
 }  // namespace song
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  song::RunStructureSweep();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -136,8 +136,15 @@ bool FaultRegistry::ShouldFail(std::string_view site) {
     injected_total_.fetch_add(1, std::memory_order_relaxed);
     SONG_VLOG(1) << "fault injected at site '" << std::string(site)
                  << "' (attempt " << attempt << ")";
+    if (listener_) listener_(site);
   }
   return fail;
+}
+
+void FaultRegistry::SetInjectionListener(
+    std::function<void(std::string_view)> listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  listener_ = std::move(listener);
 }
 
 std::vector<std::pair<std::string, uint64_t>> FaultRegistry::InjectedCounts()

@@ -30,6 +30,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -76,6 +77,13 @@ class FaultRegistry {
   /// Per-site (site, injected count) pairs, sorted by site name.
   std::vector<std::pair<std::string, uint64_t>> InjectedCounts() const;
 
+  /// Installs a callback invoked each time a site fires (after the failure
+  /// is counted). Serving layers use it to trigger a flight-recorder dump
+  /// the moment a fault lands. Called under the registry mutex, so the
+  /// listener must not re-enter this registry; pass nullptr to clear.
+  /// Survives Configure()/Disable(). No cost when no fault fires.
+  void SetInjectionListener(std::function<void(std::string_view)> listener);
+
   /// Process-wide registry. On first access, initializes itself from the
   /// SONG_FAULT_SPEC / SONG_FAULT_SEED environment variables (stays
   /// disabled when unset or malformed).
@@ -94,6 +102,7 @@ class FaultRegistry {
   uint64_t seed_ = 0;
   std::vector<FaultRule> rules_;
   std::map<std::string, SiteState, std::less<>> sites_;
+  std::function<void(std::string_view)> listener_;
 };
 
 /// Hot-path helper against the global registry: a relaxed load when no

@@ -32,4 +32,34 @@ const char* Status::CodeName(StatusCode code) {
   return "Unknown";
 }
 
+const char* Status::CodeSlug(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kIOError:
+      return "io_error";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kOutOfRange:
+      return "out_of_range";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kDataLoss:
+      return "data_loss";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+  }
+  return "unknown";
+}
+
 }  // namespace song

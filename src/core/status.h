@@ -80,6 +80,10 @@ class Status {
 
   static const char* CodeName(StatusCode code);
 
+  /// Lowercase snake_case code name ("ok", "invalid_argument", ...), used
+  /// for metric names (song.req.outcome.<slug>) and JSON fields.
+  static const char* CodeSlug(StatusCode code);
+
   /// Suggested process exit code for CLI front ends: 0 for OK, 2 for
   /// caller mistakes (InvalidArgument), 1 for everything else.
   int ExitCode() const {

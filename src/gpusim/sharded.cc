@@ -101,12 +101,35 @@ Status ShardedSongIndex::SearchOneShard(
 StatusOr<ShardedSearchResult> ShardedSongIndex::TrySearch(
     const Dataset& queries, size_t k, const SongSearchOptions& options,
     const ShardedResilienceOptions& resilience, size_t num_threads) const {
+  Timer timer;
+  // One batch-level post-mortem record per call: the whole wall time is the
+  // search stage (there is no queue/batching at this layer), and the shard
+  // coverage is genuine — a record with shards_answered < shards_total is
+  // the breadcrumb for a partial merge.
+  auto record = [&](StatusCode code, bool degraded, bool rejected,
+                    size_t answered, size_t total) {
+    if (resilience.flight_recorder == nullptr) return;
+    obs::RequestTimeline tl;
+    tl.complete_us = timer.ElapsedMicros();
+    obs::RequestRecord rec =
+        obs::RequestRecord::Make(resilience.request_id,
+                                 options.Digest(k), tl, code, degraded,
+                                 rejected);
+    rec.shards_answered = static_cast<uint16_t>(answered);
+    rec.shards_total = static_cast<uint16_t>(total);
+    resilience.flight_recorder->Record(rec);
+  };
+
   if (queries.dim() != full_data_->dim()) {
+    record(StatusCode::kInvalidArgument, false, true, 0, shards_.size());
     return Status::InvalidArgument(
         "query dim " + std::to_string(queries.dim()) +
         " does not match index dim " + std::to_string(full_data_->dim()));
   }
-  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (k == 0) {
+    record(StatusCode::kInvalidArgument, false, true, 0, shards_.size());
+    return Status::InvalidArgument("k must be >= 1");
+  }
 
   ShardedSearchResult out;
   out.results.resize(queries.num());
@@ -119,7 +142,6 @@ StatusOr<ShardedSearchResult> ShardedSongIndex::TrySearch(
   std::vector<std::vector<std::vector<Neighbor>>> shard_results(
       shards_.size());
   Status last_error;
-  Timer timer;
   for (size_t s = 0; s < shards_.size(); ++s) {
     Status shard_status;
     for (size_t attempt = 0; attempt <= resilience.max_retries; ++attempt) {
@@ -150,6 +172,8 @@ StatusOr<ShardedSearchResult> ShardedSongIndex::TrySearch(
         resilience.registry->GetCounter("song.shard.failures").Increment();
       }
       if (!resilience.allow_partial) {
+        record(StatusCode::kUnavailable, false, false, out.shards_answered,
+               out.shards_total);
         return Status::Unavailable(
             "shard " + std::to_string(s) + " failed after " +
             std::to_string(resilience.max_retries + 1) +
@@ -159,6 +183,7 @@ StatusOr<ShardedSearchResult> ShardedSongIndex::TrySearch(
   }
 
   if (out.shards_answered == 0) {
+    record(StatusCode::kUnavailable, false, false, 0, out.shards_total);
     return Status::Unavailable(
         "all " + std::to_string(out.shards_total) +
         " shards failed; last error: " + last_error.ToString());
@@ -184,6 +209,8 @@ StatusOr<ShardedSearchResult> ShardedSongIndex::TrySearch(
     out.results[q] = std::move(merged);
   }
   out.wall_seconds = timer.ElapsedSeconds();
+  record(StatusCode::kOk, out.degraded, false, out.shards_answered,
+         out.shards_total);
   return out;
 }
 

@@ -23,6 +23,7 @@
 #include "gpusim/gpu_spec.h"
 #include "graph/fixed_degree_graph.h"
 #include "graph/nsw_builder.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "song/search_options.h"
 #include "song/song_searcher.h"
@@ -45,6 +46,12 @@ struct ShardedResilienceOptions {
   uint64_t backoff_us = 0;     ///< initial backoff; doubles per retry. 0 = none
   bool allow_partial = true;   ///< merge surviving shards instead of failing
   obs::MetricsRegistry* registry = nullptr;  ///< optional metric sink
+  /// Optional post-mortem ring: TrySearch appends one batch-level
+  /// RequestRecord (status, wall time, shard coverage) per call, including
+  /// failed ones — the record whose shards_answered < shards_total is the
+  /// post-mortem breadcrumb for a partial merge.
+  obs::FlightRecorder* flight_recorder = nullptr;
+  uint64_t request_id = 0;  ///< id stamped into the record
 };
 
 struct ShardedSearchResult {

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "core/fault_injection.h"
 #include "core/logging.h"
 #include "core/simd.h"
 
@@ -201,8 +202,9 @@ std::string TracesToJson(const std::vector<SearchTrace>& traces) {
     Appendf(&out,
             "\n    {\"query_id\": %" PRIu64
             ", \"k\": %u, \"queue_size\": %u, \"config\": \"%s\", "
-            "\"wall_micros\": ",
-            t.query_id, t.k, t.queue_size, JsonEscape(t.config).c_str());
+            "\"termination\": \"%s\", \"wall_micros\": ",
+            t.query_id, t.k, t.queue_size, JsonEscape(t.config).c_str(),
+            TraceTerminationName(t.termination));
     AppendJsonNumber(&out, t.wall_micros);
     out += ", \"rows\": [";
     bool first_row = true;
@@ -271,11 +273,14 @@ std::string TracesToChromeJson(const std::vector<SearchTrace>& traces,
 
     const TraceStageCycles total = model.PriceTrace(t, costs);
     std::string query_args;
+    // `termination` answers why a degraded query stopped (deadline /
+    // cost_budget) straight from the Chrome span, no cross-referencing.
     Appendf(&query_args,
             "{\"config\":\"%s\",\"k\":%u,\"queue_size\":%u,\"hops\":%zu,"
-            "\"distance_computations\":%zu,\"cpu_wall_us\":",
+            "\"distance_computations\":%zu,\"termination\":\"%s\","
+            "\"cpu_wall_us\":",
             JsonEscape(t.config).c_str(), t.k, t.queue_size, t.Hops(),
-            t.DistanceComputations());
+            t.DistanceComputations(), TraceTerminationName(t.termination));
     AppendJsonNumber(&query_args, t.wall_micros);
     query_args += "}";
     w.Span(thread_name.c_str(), "query", kQueryPid, t.query_id, 0.0,
@@ -324,6 +329,61 @@ std::string TracesToChromeJson(const std::vector<SearchTrace>& traces,
   out += ", \"dtoh_seconds\": ";
   AppendJsonNumber(&out, b.dtoh_seconds);
   out += "}\n}\n";
+  return out;
+}
+
+std::string StatuszToJson(const StatuszContext& context) {
+  std::string out = "{\n";
+  Appendf(&out, "  \"schema_version\": %d,\n", kTelemetrySchemaVersion);
+  Appendf(&out, "  \"command\": \"%s\",\n",
+          JsonEscape(context.command).c_str());
+  Appendf(&out, "  \"status\": {\"code\": %d, \"name\": \"%s\", ",
+          context.status_code,
+          Status::CodeSlug(static_cast<StatusCode>(context.status_code)));
+  Appendf(&out, "\"message\": \"%s\"},\n",
+          JsonEscape(context.status_message).c_str());
+  Appendf(&out, "  \"build\": {\"describe\": \"%s\"},\n",
+          JsonEscape(context.build_describe).c_str());
+  Appendf(&out, "  \"simd\": {\"cpu_tier\": \"%s\", \"active_tier\": "
+                "\"%s\"},\n",
+          SimdTierName(CpuSimdTier()), SimdTierName(ActiveSimdTier()));
+
+  fault::FaultRegistry& faults = fault::FaultRegistry::Global();
+  Appendf(&out, "  \"fault\": {\"armed\": %s, \"spec\": \"%s\", "
+                "\"injected_total\": %" PRIu64 ", \"sites\": {",
+          faults.enabled() ? "true" : "false",
+          JsonEscape(faults.spec()).c_str(), faults.injected_total());
+  bool first = true;
+  for (const auto& [site, count] : faults.InjectedCounts()) {
+    if (!first) out += ", ";
+    first = false;
+    Appendf(&out, "\"%s\": %" PRIu64, JsonEscape(site).c_str(), count);
+  }
+  out += "}},\n";
+
+  out += "  \"metrics\": ";
+  if (context.registry != nullptr) {
+    std::string metrics = MetricsToJson(*context.registry);
+    while (!metrics.empty() &&
+           (metrics.back() == '\n' || metrics.back() == ' ')) {
+      metrics.pop_back();
+    }
+    out += metrics;
+  } else {
+    out += "null";
+  }
+  out += ",\n  \"flight_recorder\": ";
+  if (context.flight_recorder != nullptr) {
+    std::string recorder = context.flight_recorder->ToJson();
+    while (!recorder.empty() &&
+           (recorder.back() == '\n' || recorder.back() == ' ')) {
+      recorder.pop_back();
+    }
+    out += recorder;
+  } else {
+    out += "null";
+  }
+  out += "\n}\n";
   return out;
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "gpusim/cost_model.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -48,6 +49,24 @@ struct ChromeTraceContext {
 /// version, GPU name and the breakdown seconds for validators.
 std::string TracesToChromeJson(const std::vector<SearchTrace>& traces,
                                const ChromeTraceContext& context);
+
+/// Everything the --statusz one-shot dump merges. All pointers optional;
+/// a null section is emitted as an explicit JSON null so validators can
+/// tell "absent" from "empty".
+struct StatuszContext {
+  const MetricsRegistry* registry = nullptr;
+  const FlightRecorder* flight_recorder = nullptr;
+  std::string build_describe;  ///< git describe of the binary, "" = unknown
+  std::string command;         ///< CLI command serving the dump
+  int status_code = 0;         ///< StatusCode of the run as int
+  std::string status_message;  ///< empty when OK
+};
+
+/// One-shot serving-state dump: {"schema_version", "command", "status",
+/// "build" (describe), "simd" (cpu/active tier), "fault" (spec, armed,
+/// injected counts), "metrics" (MetricsToJson's document), and
+/// "flight_recorder" (FlightRecorder::ToJson's document).
+std::string StatuszToJson(const StatuszContext& context);
 
 /// Writes `content` to `path`; returns false (and logs through
 /// SONG_LOG(WARN)) on failure.

@@ -1,0 +1,88 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// Lock-free flight recorder: a fixed-capacity ring retaining the last N
+// completed RequestRecords for post-mortem inspection (--statusz, non-OK
+// Status dumps, fault-injection firings). Production graph-serving systems
+// treat this capture as load-bearing: when a request misbehaves, the
+// recorder answers "what were the last N requests doing" without any
+// logging on the hot path.
+//
+// Concurrency design (seqlock per slot, Boehm-style atomic payload):
+//   - Record() is wait-free for writers: claim a ticket with one relaxed
+//     fetch_add, then seqlock-publish the record into slot ticket % N. The
+//     payload is stored as relaxed atomic uint64 words, so concurrent
+//     readers are race-free by construction (TSan-clean), and a torn read
+//     is detected — never silently returned — via the per-slot sequence.
+//   - Record() performs no allocation and takes no lock: safe on the search
+//     hot path, pinned by tests/obs/flight_recorder_test.cc with a global
+//     operator-new counter.
+//   - Snapshot()/ToJson() are best-effort readers: a record overwritten or
+//     mid-write during the read is skipped, records are returned oldest ->
+//     newest. Readers never block writers.
+
+#ifndef SONG_OBS_FLIGHT_RECORDER_H_
+#define SONG_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/request_timeline.h"
+
+namespace song::obs {
+
+class FlightRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 256;
+
+  /// `capacity` is rounded up to the next power of two (minimum 2) so slot
+  /// selection is a mask, not a division.
+  explicit FlightRecorder(size_t capacity = kDefaultCapacity);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Appends one record, overwriting the oldest once the ring is full.
+  /// Wait-free, allocation-free, safe from any number of threads.
+  void Record(const RequestRecord& record) noexcept;
+
+  /// Consistent copies of the retained records, oldest -> newest. Records
+  /// caught mid-overwrite are skipped (bounded retries, then give up on
+  /// that slot), so the result may be shorter than capacity even after
+  /// capacity records were written.
+  std::vector<RequestRecord> Snapshot() const;
+
+  /// JSON dump: {"schema_version", "capacity", "total_recorded",
+  /// "records": [...]}, records oldest -> newest with status code names.
+  std::string ToJson() const;
+
+  size_t capacity() const { return capacity_; }
+
+  /// Records ever written (monotonic; >= capacity() means the ring wrapped).
+  uint64_t total_recorded() const {
+    return next_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Slot {
+    /// 0 = never written; 2*ticket+1 = write of `ticket` in progress;
+    /// 2*ticket+2 = write of `ticket` complete.
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uint64_t> words[kRequestRecordWords] = {};
+  };
+
+  /// Reads slot for `ticket` into `out`; false on torn/overwritten data.
+  bool TryRead(uint64_t ticket, RequestRecord* out) const;
+
+  size_t capacity_;
+  uint64_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> next_{0};  ///< next ticket to assign
+};
+
+}  // namespace song::obs
+
+#endif  // SONG_OBS_FLIGHT_RECORDER_H_

@@ -48,6 +48,27 @@ struct TraceIterationRow {
   uint32_t visited_deletes = 0;
 };
 
+/// Why the main loop stopped. Anything but kConverged means the result is
+/// best-so-far (the query was tagged degraded); exporters attach the name
+/// to the query span so Chrome traces show why a degraded query stopped.
+enum class TraceTermination : uint8_t {
+  kConverged = 0,   ///< frontier ran dry (Algorithm 1's natural exit)
+  kDeadline = 1,    ///< options.deadline_us expired mid-search
+  kCostBudget = 2,  ///< options.cost_budget distance computations reached
+};
+
+inline const char* TraceTerminationName(TraceTermination t) {
+  switch (t) {
+    case TraceTermination::kConverged:
+      return "converged";
+    case TraceTermination::kDeadline:
+      return "deadline";
+    case TraceTermination::kCostBudget:
+      return "cost_budget";
+  }
+  return "unknown";
+}
+
 /// The full trace of one sampled query.
 struct SearchTrace {
   uint64_t query_id = 0;
@@ -55,6 +76,7 @@ struct SearchTrace {
   uint32_t queue_size = 0;
   std::string config;  ///< SongSearchOptions::Name() of the run
   double wall_micros = 0.0;
+  TraceTermination termination = TraceTermination::kConverged;
   std::vector<TraceIterationRow> rows;
 
   size_t Hops() const { return rows.empty() ? 0 : rows.size() - 1; }

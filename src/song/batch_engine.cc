@@ -117,24 +117,64 @@ BatchResult BatchEngine::Search(const Dataset& queries, size_t k,
 StatusOr<BatchResult> BatchEngine::TrySearch(
     const Dataset& queries, size_t k, const SongSearchOptions& options,
     const BatchTelemetry& telemetry, const BatchAdmission& admission) const {
+  // Request lifecycle (enqueue stamp + ids + per-stage histograms) is armed
+  // only when telemetry asks for it; otherwise this path is stamp-free and
+  // results/allocations match the pre-lifecycle engine exactly.
+  const bool lifecycle_on =
+      telemetry.registry != nullptr || telemetry.flight_recorder != nullptr;
+  Timer clock;  // epoch: request arrival (the enqueue stamp is 0)
+  const uint64_t id_base =
+      lifecycle_on ? request_seq_.fetch_add(
+                         std::max<uint64_t>(queries.num(), 1),
+                         std::memory_order_relaxed)
+                   : 0;
+
+  // Records a single turned-away record for the whole batch: all lifetime
+  // up to the refusal is queue time (the batch never got admitted).
+  auto record_refusal = [&](const Status& status, bool rejected) {
+    if (!lifecycle_on) return;
+    obs::RequestTimeline tl;
+    const double now = clock.ElapsedMicros();
+    tl.enqueue_us = 0.0;
+    tl.admitted_us = tl.batched_us = tl.search_begin_us = tl.complete_us =
+        now;
+    obs::RequestRecord rec = obs::RequestRecord::Make(
+        id_base, options.Digest(k), tl, status.code(), /*degraded=*/false,
+        rejected);
+    obs::RequestMetrics(telemetry.registry).Record(rec);
+    if (telemetry.flight_recorder != nullptr) {
+      telemetry.flight_recorder->Record(rec);
+    }
+  };
+
   if (queries.dim() != searcher_->data().dim()) {
-    return Status::InvalidArgument(
+    Status status = Status::InvalidArgument(
         "query dim " + std::to_string(queries.dim()) +
         " does not match index dim " +
         std::to_string(searcher_->data().dim()));
+    record_refusal(status, /*rejected=*/true);
+    return status;
   }
-  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (k == 0) {
+    Status status = Status::InvalidArgument("k must be >= 1");
+    record_refusal(status, /*rejected=*/true);
+    return status;
+  }
   if (k > searcher_->data().num()) {
-    return Status::InvalidArgument(
+    Status status = Status::InvalidArgument(
         "k = " + std::to_string(k) + " exceeds the dataset size " +
         std::to_string(searcher_->data().num()));
+    record_refusal(status, /*rejected=*/true);
+    return status;
   }
   const size_t ef = std::max(options.queue_size, k);
   if (ef > SongSearcher::kMaxQueueSize) {
-    return Status::ResourceExhausted(
+    Status status = Status::ResourceExhausted(
         "effective queue size " + std::to_string(ef) +
         " exceeds the admission limit " +
         std::to_string(SongSearcher::kMaxQueueSize));
+    record_refusal(status, /*rejected=*/true);
+    return status;
   }
 
   if (admission.max_inflight > 0) {
@@ -144,16 +184,25 @@ StatusOr<BatchResult> BatchEngine::TrySearch(
       if (telemetry.registry != nullptr) {
         telemetry.registry->GetCounter("song.batch.shed").Increment();
       }
-      return Status::ResourceExhausted(
+      Status status = Status::ResourceExhausted(
           "batch shed: " + std::to_string(prior) +
           " batches already in flight (max_inflight = " +
           std::to_string(admission.max_inflight) + ")");
+      record_refusal(status, /*rejected=*/false);
+      return status;
     }
   } else {
     inflight_.fetch_add(1, std::memory_order_acq_rel);
   }
+  LifecycleContext lifecycle;
+  lifecycle.clock = &clock;
+  lifecycle.enqueue_us = 0.0;
+  lifecycle.admitted_us = clock.ElapsedMicros();
+  lifecycle.request_id_base = id_base;
+  lifecycle.options_digest = options.Digest(k);
   BatchResult batch = RunBatch(queries, k, options, telemetry,
-                               /*validate=*/true);
+                               /*validate=*/true,
+                               lifecycle_on ? &lifecycle : nullptr);
   inflight_.fetch_sub(1, std::memory_order_acq_rel);
   return batch;
 }
@@ -161,7 +210,8 @@ StatusOr<BatchResult> BatchEngine::TrySearch(
 BatchResult BatchEngine::RunBatch(const Dataset& queries, size_t k,
                                   const SongSearchOptions& options,
                                   const BatchTelemetry& telemetry,
-                                  bool validate) const {
+                                  bool validate,
+                                  const LifecycleContext* lifecycle) const {
   BatchResult batch;
   batch.num_queries = queries.num();
   batch.results.resize(queries.num());
@@ -176,24 +226,61 @@ BatchResult BatchEngine::RunBatch(const Dataset& queries, size_t k,
                                   telemetry.trace_seed);
   obs::TraceCollector collector(telemetry.max_traces);
 
+  // Per-request sinks: histogram pointers are resolved once here, worker
+  // threads record lock-free. Both are no-ops when lifecycle is off.
+  const obs::RequestMetrics req_metrics(
+      lifecycle != nullptr ? telemetry.registry : nullptr);
+  obs::FlightRecorder* recorder =
+      lifecycle != nullptr ? telemetry.flight_recorder : nullptr;
+
   Timer timer;
   ParallelFor(queries.num(), num_threads_, [&](size_t qi, size_t tid) {
+    obs::RequestTimeline tl;
+    if (lifecycle != nullptr) {
+      tl.enqueue_us = lifecycle->enqueue_us;
+      tl.admitted_us = lifecycle->admitted_us;
+      tl.batched_us = lifecycle->clock->ElapsedMicros();
+    }
+    auto emit = [&](StatusCode code, bool degraded, bool rejected) {
+      if (lifecycle == nullptr) return;
+      const obs::RequestRecord rec = obs::RequestRecord::Make(
+          lifecycle->request_id_base + qi, lifecycle->options_digest, tl,
+          code, degraded, rejected);
+      req_metrics.Record(rec);
+      if (recorder != nullptr) recorder->Record(rec);
+    };
+
     const float* query = queries.Row(static_cast<idx_t>(qi));
-    if (validate && !searcher_->ValidateQuery(query).ok()) {
-      batch.rejected[qi] = 1;
-      batch.latencies_us[qi] = 0.0f;
-      return;
+    if (validate) {
+      const Status vs = searcher_->ValidateQuery(query);
+      if (!vs.ok()) {
+        batch.rejected[qi] = 1;
+        batch.latencies_us[qi] = 0.0f;
+        if (lifecycle != nullptr) {
+          tl.search_begin_us = tl.complete_us =
+              lifecycle->clock->ElapsedMicros();
+        }
+        emit(vs.code(), /*degraded=*/false, /*rejected=*/true);
+        return;
+      }
     }
     const bool traced = sampler.ShouldSample(qi);
     obs::SearchTrace trace;
     bool degraded = false;
+    if (lifecycle != nullptr) {
+      tl.search_begin_us = lifecycle->clock->ElapsedMicros();
+    }
     Timer query_timer;
     batch.results[qi] =
         searcher_->Search(query, k, options, &workspaces[tid],
                           &thread_stats[tid], traced ? &trace : nullptr,
                           &degraded);
     batch.latencies_us[qi] = static_cast<float>(query_timer.ElapsedMicros());
+    if (lifecycle != nullptr) {
+      tl.complete_us = lifecycle->clock->ElapsedMicros();
+    }
     if (degraded) batch.degraded[qi] = 1;
+    emit(StatusCode::kOk, degraded, /*rejected=*/false);
     if (traced) {
       trace.query_id = qi;
       trace.wall_micros = static_cast<double>(batch.latencies_us[qi]);

@@ -16,6 +16,8 @@
 
 #include "core/dataset.h"
 #include "core/status.h"
+#include "core/timer.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "song/song_searcher.h"
@@ -43,6 +45,10 @@ struct BatchTelemetry {
   uint64_t trace_seed = 0x534f4e47;  // "SONG"
   /// Hard cap on collected traces per batch.
   size_t max_traces = 4096;
+  /// Post-mortem ring for completed request records; nullptr disables it.
+  /// Only the checked TrySearch path records (Search stays lifecycle-free),
+  /// and each record is one wait-free, allocation-free ring write.
+  obs::FlightRecorder* flight_recorder = nullptr;
 };
 
 struct BatchResult {
@@ -124,13 +130,29 @@ class BatchEngine {
   }
 
  private:
+  /// Request-lifecycle context for one checked batch: the shared monotonic
+  /// epoch (workers read the const Timer concurrently) plus the stamps and
+  /// identity taken before the workers fan out. Present only when telemetry
+  /// enables a registry or flight recorder; the unchecked Search path and
+  /// telemetry-free TrySearch runs pass nullptr and skip every stamp.
+  struct LifecycleContext {
+    const Timer* clock = nullptr;
+    double enqueue_us = 0.0;
+    double admitted_us = 0.0;
+    uint64_t request_id_base = 0;
+    uint64_t options_digest = 0;
+  };
+
   BatchResult RunBatch(const Dataset& queries, size_t k,
                        const SongSearchOptions& options,
-                       const BatchTelemetry& telemetry, bool validate) const;
+                       const BatchTelemetry& telemetry, bool validate,
+                       const LifecycleContext* lifecycle = nullptr) const;
 
   const SongSearcher* searcher_;
   size_t num_threads_;
   mutable std::atomic<size_t> inflight_{0};
+  /// Process-lifetime request ids for flight-recorder records.
+  mutable std::atomic<uint64_t> request_seq_{0};
 };
 
 }  // namespace song

@@ -59,15 +59,47 @@ std::vector<Neighbor> IndexSnapshot::Search(const float* query, size_t k,
 
 StatusOr<std::vector<Neighbor>> IndexSnapshot::TrySearch(
     const float* query, size_t k, const SongSearchOptions& options,
-    SongWorkspace* workspace, SearchStats* stats, bool* degraded) const {
-  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+    SongWorkspace* workspace, SearchStats* stats, bool* degraded,
+    const obs::RequestObserver* observer) const {
+  // Stamp this snapshot's MVCC version into any emitted record; the
+  // caller's observer identifies the request, the snapshot identifies the
+  // index state it was served from.
+  obs::RequestObserver versioned;
+  if (observer != nullptr) {
+    versioned = *observer;
+    versioned.snapshot_version = version_;
+  }
+  auto emit = [&](float search_us, StatusCode code, bool was_degraded,
+                  bool was_rejected) {
+    if (observer == nullptr) return;
+    obs::EmitRequestRecord(versioned, options.Digest(k), search_us, code,
+                           was_degraded, was_rejected);
+  };
+
+  if (k == 0) {
+    Status status = Status::InvalidArgument("k must be >= 1");
+    emit(0.0f, status.code(), /*degraded=*/false, /*rejected=*/true);
+    return status;
+  }
   if (live_points_ == 0 || !searcher_.has_value()) {
     if (degraded != nullptr) *degraded = false;
+    emit(0.0f, StatusCode::kOk, /*degraded=*/false, /*rejected=*/false);
     return std::vector<Neighbor>{};
   }
-  SONG_RETURN_IF_ERROR(
-      searcher_->ValidateRequest(query, CompensatedK(k), options));
-  return Search(query, k, options, workspace, stats, degraded);
+  const Status vs =
+      searcher_->ValidateRequest(query, CompensatedK(k), options);
+  if (!vs.ok()) {
+    emit(0.0f, vs.code(), /*degraded=*/false, /*rejected=*/true);
+    return vs;
+  }
+  bool local_degraded = false;
+  Timer search_timer;
+  std::vector<Neighbor> result =
+      Search(query, k, options, workspace, stats, &local_degraded);
+  emit(static_cast<float>(search_timer.ElapsedMicros()), StatusCode::kOk,
+       local_degraded, /*rejected=*/false);
+  if (degraded != nullptr) *degraded = local_degraded;
+  return result;
 }
 
 }  // namespace song

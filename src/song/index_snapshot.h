@@ -91,11 +91,14 @@ class IndexSnapshot {
 
   /// Checked variant: validates the query payload and option admission via
   /// SongSearcher::ValidateRequest before touching any per-query structure.
-  StatusOr<std::vector<Neighbor>> TrySearch(const float* query, size_t k,
-                                            const SongSearchOptions& options,
-                                            SongWorkspace* workspace,
-                                            SearchStats* stats = nullptr,
-                                            bool* degraded = nullptr) const;
+  /// When `observer` is non-null, one RequestRecord is emitted per call
+  /// (served, degraded, or rejected) with this snapshot's version stamped
+  /// in — the caller's observer need not know which MVCC version it hit.
+  StatusOr<std::vector<Neighbor>> TrySearch(
+      const float* query, size_t k, const SongSearchOptions& options,
+      SongWorkspace* workspace, SearchStats* stats = nullptr,
+      bool* degraded = nullptr,
+      const obs::RequestObserver* observer = nullptr) const;
 
  private:
   std::shared_ptr<const Dataset> data_;

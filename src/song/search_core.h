@@ -197,12 +197,18 @@ std::vector<Neighbor> SongSearchCore(const FixedDegreeGraph& graph,
     if (has_cost_budget &&
         local.distance_computations >= options.cost_budget) {
       budget_exhausted = true;
+      if (trace != nullptr) {
+        trace->termination = obs::TraceTermination::kCostBudget;
+      }
       break;
     }
     if (has_deadline &&
         deadline_timer.ElapsedMicros() >=
             static_cast<double>(options.deadline_us)) {
       budget_exhausted = true;
+      if (trace != nullptr) {
+        trace->termination = obs::TraceTermination::kDeadline;
+      }
       break;
     }
     ++local.iterations;

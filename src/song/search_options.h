@@ -9,6 +9,7 @@
 #define SONG_SONG_SEARCH_OPTIONS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "song/visited_table.h"
@@ -141,6 +142,34 @@ struct SongSearchOptions {
       if (visited_deletion) name += "-del";
     }
     return name;
+  }
+
+  /// FNV-1a digest over every search-affecting knob plus k, identifying
+  /// this request's configuration in flight-recorder records without
+  /// storing strings. Stable across runs on the same build; two requests
+  /// share a digest iff they ran the same (options, k).
+  uint64_t Digest(size_t k) const {
+    uint64_t h = 0xcbf29ce484222325ull;
+    const uint64_t knobs[] = {static_cast<uint64_t>(k),
+                              static_cast<uint64_t>(queue_size),
+                              static_cast<uint64_t>(structure),
+                              selected_insertion ? 1u : 0u,
+                              visited_deletion ? 1u : 0u,
+                              static_cast<uint64_t>(multi_query),
+                              static_cast<uint64_t>(multi_step_probe),
+                              static_cast<uint64_t>(hash_capacity),
+                              static_cast<uint64_t>(bloom_bits),
+                              enable_prefetch ? 1u : 0u,
+                              static_cast<uint64_t>(reorder),
+                              deadline_us,
+                              cost_budget};
+    for (const uint64_t v : knobs) {
+      for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xffu;
+        h *= 0x100000001b3ull;
+      }
+    }
+    return h;
   }
 };
 

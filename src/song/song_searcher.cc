@@ -113,9 +113,31 @@ Status SongSearcher::ValidateRequest(const float* query, size_t k,
 StatusOr<std::vector<Neighbor>> SongSearcher::TrySearch(
     const float* query, size_t k, const SongSearchOptions& options,
     SongWorkspace* workspace, SearchStats* stats, obs::SearchTrace* trace,
-    bool* degraded) const {
-  SONG_RETURN_IF_ERROR(ValidateRequest(query, k, options));
-  return Search(query, k, options, workspace, stats, trace, degraded);
+    bool* degraded, const obs::RequestObserver* observer) const {
+  if (observer == nullptr) {
+    SONG_RETURN_IF_ERROR(ValidateRequest(query, k, options));
+    return Search(query, k, options, workspace, stats, trace, degraded);
+  }
+
+  // Lifecycle-observed variant: the caller stamped the pre-search stages
+  // (queue / batch_form); this searcher owns the search stage and emits one
+  // record per request, rejected or served.
+  const Status vs = ValidateRequest(query, k, options);
+  if (!vs.ok()) {
+    obs::EmitRequestRecord(*observer, options.Digest(k), 0.0f, vs.code(),
+                           /*degraded=*/false, /*rejected=*/true);
+    return vs;
+  }
+  bool local_degraded = false;
+  Timer search_timer;
+  std::vector<Neighbor> result =
+      Search(query, k, options, workspace, stats, trace, &local_degraded);
+  obs::EmitRequestRecord(*observer, options.Digest(k),
+                         static_cast<float>(search_timer.ElapsedMicros()),
+                         StatusCode::kOk, local_degraded,
+                         /*rejected=*/false);
+  if (degraded != nullptr) *degraded = local_degraded;
+  return result;
 }
 
 }  // namespace song

@@ -24,6 +24,7 @@
 #include "core/status.h"
 #include "core/types.h"
 #include "graph/fixed_degree_graph.h"
+#include "obs/request_timeline.h"
 #include "song/search_core.h"
 #include "song/search_options.h"
 
@@ -69,13 +70,17 @@ class SongSearcher {
 
   /// Checked search: runs ValidateRequest, then Search. Never aborts on
   /// malformed input; a budget-terminated search still succeeds and sets
-  /// `*degraded`.
-  StatusOr<std::vector<Neighbor>> TrySearch(const float* query, size_t k,
-                                            const SongSearchOptions& options,
-                                            SongWorkspace* workspace,
-                                            SearchStats* stats = nullptr,
-                                            obs::SearchTrace* trace = nullptr,
-                                            bool* degraded = nullptr) const;
+  /// `*degraded`. When `observer` is non-null the request's lifecycle is
+  /// recorded to its metrics/flight-recorder sinks: the searcher measures
+  /// the search stage itself, adopts the caller-stamped queue/batch_form
+  /// stages, and emits one RequestRecord whether the request was served,
+  /// degraded, or rejected by validation. A null observer leaves this path
+  /// stamp-free and bit-identical to the pre-observability behavior.
+  StatusOr<std::vector<Neighbor>> TrySearch(
+      const float* query, size_t k, const SongSearchOptions& options,
+      SongWorkspace* workspace, SearchStats* stats = nullptr,
+      obs::SearchTrace* trace = nullptr, bool* degraded = nullptr,
+      const obs::RequestObserver* observer = nullptr) const;
 
   /// Installs a new-id -> old-id mapping applied to result ids at emit
   /// time. Used with reordered indexes (graph/reorder.h): the searcher runs

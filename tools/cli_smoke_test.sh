@@ -137,4 +137,51 @@ expect_fail 1 "transfer.htod" -- search --data "$DIR/data.sngd" \
       --queries "$DIR/q.sngd" --k 10 --fault-spec "transfer.htod=0" \
       | grep -q "faults injected: 0"
 
+# --- Request-lifecycle observability (docs/observability.md) ---------------
+
+# Statusz + flight recorder on a concurrent mutate-serve run: both dumps
+# must pass schema validation, including the song.req.* histogram
+# telescoping invariant and per-record stage sums.
+"$CLI" search --data "$DIR/data.sngd" --graph "$DIR/graph.sngg" \
+      --queries "$DIR/q.sngd" --k 10 --queue 96 \
+      --mutate-spec rounds=2,inserts=10,deletes=4,seed=11 --max-inflight 4 \
+      --statusz "$DIR/statusz.json" --flight-recorder "$DIR/flight.json"
+python3 -m json.tool "$DIR/statusz.json" > /dev/null
+python3 -m json.tool "$DIR/flight.json" > /dev/null
+python3 "$TOOLS_DIR/validate_telemetry.py" \
+      --statusz "$DIR/statusz.json" --flight-recorder "$DIR/flight.json"
+# Every query must show up in the ring with an OK outcome.
+python3 - "$DIR/flight.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["total_recorded"] > 0, "flight recorder recorded nothing"
+assert all(r["status"] == "ok" for r in doc["records"]), \
+    [r for r in doc["records"] if r["status"] != "ok"][:3]
+PY
+
+# Statusz on the frozen batch path, and on a failed run: the dump must be
+# written either way, carrying the run's Status.
+"$CLI" search --data "$DIR/data.sngd" --graph "$DIR/graph.sngg" \
+      --queries "$DIR/q.sngd" --k 10 --statusz "$DIR/statusz_frozen.json"
+python3 "$TOOLS_DIR/validate_telemetry.py" --statusz "$DIR/statusz_frozen.json"
+expect_fail 1 "flight recorder (non-OK run status)" -- search \
+      --data "$DIR/data.sngd" --graph "$DIR/graph.sngg" \
+      --queries "$DIR/q.sngd" --k 10 --fault-spec "transfer.htod=1" \
+      --fault-seed 7 --statusz "$DIR/statusz_fail.json"
+python3 "$TOOLS_DIR/validate_telemetry.py" --statusz "$DIR/statusz_fail.json"
+python3 - "$DIR/statusz_fail.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["status"]["name"] == "unavailable", doc["status"]
+assert doc["fault"]["armed"] is True, doc["fault"]
+PY
+
+# Bench gate self-test: the committed baselines must pass against
+# themselves and a planted 2x slowdown must fail (both modes).
+python3 "$TOOLS_DIR/bench_gate.py" \
+      --baseline "$TOOLS_DIR/../bench/baselines" --self-test --tolerance 0.5
+python3 "$TOOLS_DIR/bench_gate.py" \
+      --baseline "$TOOLS_DIR/../bench/baselines" --self-test --normalize \
+      --tolerance 0.5
+
 echo "CLI SMOKE OK"

@@ -18,6 +18,7 @@
 //                     [--max-inflight N]
 //                     [--fault-spec spec] [--fault-seed N]
 //                     [--mutate-spec rounds=R,inserts=I,deletes=D[,seed=S]]
+//                     [--statusz out.json] [--flight-recorder out.json]
 //   song_cli version  (build info: SIMD tiers detected/compiled/active)
 //
 // Online mutation (docs/testing.md): --mutate-spec adopts the loaded
@@ -39,8 +40,17 @@
 // JSON (open in chrome://tracing or ui.perfetto.dev); --trace-sample M keeps
 // one query in M (default 1 = every query once --trace is given).
 //
+// Observability (docs/observability.md): --statusz writes a one-shot serving
+// state dump (build info, SIMD tiers, fault registry, metrics, flight
+// recorder) on success AND on failure; --flight-recorder dumps the ring of
+// the last completed request records as JSON. Either flag arms the
+// request-lifecycle pipeline (song.req.* histograms + flight recorder). When
+// a fault-injection site fires during the run, the ring is also dumped to
+// stderr as a post-mortem breadcrumb.
+//
 // Everything uses the library's binary formats (SNGD datasets, SNGG graphs).
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -56,6 +66,7 @@
 #include "core/random.h"
 #include "core/recall.h"
 #include "core/simd.h"
+#include "core/thread_pool.h"
 #include "core/timer.h"
 #include "data/synthetic.h"
 #include "gpusim/simulator.h"
@@ -63,9 +74,14 @@
 #include "graph/nsw_builder.h"
 #include "graph/reorder.h"
 #include "obs/exporters.h"
+#include "obs/flight_recorder.h"
 #include "song/index_snapshot.h"
 #include "song/mutable_index.h"
 #include "song/song_searcher.h"
+
+#ifndef SONG_GIT_DESCRIBE
+#define SONG_GIT_DESCRIBE "unknown"
+#endif
 
 namespace {
 
@@ -338,6 +354,42 @@ MutateSpec ParseMutateSpec(const std::string& spec) {
   return out;
 }
 
+/// Writes the --statusz one-shot dump; returns 0/1 like the other writers.
+/// Called on both the success and the failure path, so a crashed-run dump
+/// still carries the error Status plus everything recorded up to it.
+int WriteStatusz(const std::string& path, const std::string& command,
+                 const Status& status, const obs::MetricsRegistry* registry,
+                 const obs::FlightRecorder* recorder) {
+  obs::StatuszContext ctx;
+  ctx.registry = registry;
+  ctx.flight_recorder = recorder;
+  ctx.build_describe = SONG_GIT_DESCRIBE;
+  ctx.command = command;
+  ctx.status_code = static_cast<int>(status.code());
+  ctx.status_message = status.message();
+  if (!obs::WriteStringToFile(path, obs::StatuszToJson(ctx))) return 1;
+  std::printf("wrote statusz to %s\n", path.c_str());
+  return 0;
+}
+
+/// Clears the global fault-injection listener on scope exit: the listener
+/// lambda captures stack locals, so it must never outlive the frame that
+/// armed it.
+struct FaultListenerGuard {
+  bool armed = false;
+  ~FaultListenerGuard() {
+    if (armed) fault::FaultRegistry::Global().SetInjectionListener(nullptr);
+  }
+};
+
+/// Post-mortem ring dump to stderr (non-OK run status, or a fault site
+/// fired mid-run).
+void DumpFlightRecorderToStderr(const obs::FlightRecorder& recorder,
+                                const char* why) {
+  std::fprintf(stderr, "flight recorder (%s):\n", why);
+  std::fputs(recorder.ToJson().c_str(), stderr);
+}
+
 /// The --mutate-spec leg of CmdSearch: churn the adopted index, then serve
 /// the queries from the final snapshot with recall against an exact scan of
 /// the live set.
@@ -412,49 +464,112 @@ int RunMutateSearch(const Flags& flags, Dataset data, FixedDegreeGraph graph,
       index.retired_versions());
 
   // Serve the queries from the final snapshot; exact live-set scan for
-  // recall (the frozen --gt file is meaningless after mutation).
-  SongWorkspace workspace;
-  Timer search_timer;
+  // recall (the frozen --gt file is meaningless after mutation). Serving is
+  // concurrent: --max-inflight bounds the worker count (there is no batch
+  // admission queue in this leg — each query is an independent request), so
+  // a request's queue stage is the time it waited for a worker slot.
+  const std::string metrics_path = Optional(flags, "metrics", "");
+  const std::string metrics_json_path = Optional(flags, "metrics-json", "");
+  const std::string statusz_path = Optional(flags, "statusz", "");
+  const std::string flight_path = Optional(flags, "flight-recorder", "");
+  const bool observe = !metrics_path.empty() || !metrics_json_path.empty() ||
+                       !statusz_path.empty() || !flight_path.empty();
+  obs::FlightRecorder recorder;
+  obs::FlightRecorder* recorder_ptr =
+      !statusz_path.empty() || !flight_path.empty() ? &recorder : nullptr;
+  const obs::RequestMetrics req_metrics(observe ? &registry : nullptr);
+
+  std::atomic<uint64_t> faults_fired{0};
+  FaultListenerGuard listener_guard;
+  if (recorder_ptr != nullptr && fault::FaultRegistry::Global().enabled()) {
+    fault::FaultRegistry::Global().SetInjectionListener(
+        [&faults_fired](std::string_view) {
+          faults_fired.fetch_add(1, std::memory_order_relaxed);
+        });
+    listener_guard.armed = true;
+  }
+
+  const size_t max_inflight =
+      static_cast<size_t>(ParseUint(flags, "max-inflight", "0"));
+  const size_t workers = std::max<size_t>(1, max_inflight);
+  std::vector<SongWorkspace> workspaces(workers);
+  std::vector<size_t> hits_per(workers, 0);
+  std::vector<size_t> denom_per(workers, 0);
+  std::vector<Status> errors(queries.num());
   const DistanceFunc dist = GetDistanceFunc(metric);
+  Timer search_timer;
+  ParallelFor(
+      queries.num(), workers,
+      [&](size_t q, size_t t) {
+        const float* query = queries.Row(static_cast<idx_t>(q));
+        obs::RequestObserver observer;
+        observer.metrics = &req_metrics;
+        observer.recorder = recorder_ptr;
+        observer.request_id = q;
+        // The queue stage ends when this worker claims the query; the
+        // snapshot search path has no batch formation.
+        observer.queue_us = static_cast<float>(search_timer.ElapsedMicros());
+        const StatusOr<std::vector<Neighbor>> got = snapshot->TrySearch(
+            query, k, options, &workspaces[t], /*stats=*/nullptr,
+            /*degraded=*/nullptr, observe ? &observer : nullptr);
+        if (!got.ok()) {
+          errors[q] = got.status();
+          return;
+        }
+        std::vector<Neighbor> truth;
+        for (size_t id = 0; id < snapshot->num_points(); ++id) {
+          if (!snapshot->IsLive(static_cast<idx_t>(id))) continue;
+          truth.emplace_back(
+              dist(query, snapshot->data().Row(static_cast<idx_t>(id)), dim),
+              static_cast<idx_t>(id));
+        }
+        std::sort(truth.begin(), truth.end());
+        if (truth.size() > k) truth.resize(k);
+        denom_per[t] += truth.size();
+        for (const Neighbor& n : got.value()) {
+          for (const Neighbor& tr : truth) {
+            if (n.id == tr.id) {
+              ++hits_per[t];
+              break;
+            }
+          }
+        }
+      },
+      /*chunk=*/1);
+
+  // Deterministic error reporting: the lowest failed query wins, regardless
+  // of which worker hit it first.
+  for (size_t q = 0; q < queries.num(); ++q) {
+    if (errors[q].ok()) continue;
+    std::fprintf(stderr, "query %zu failed: %s\n", q,
+                 errors[q].ToString().c_str());
+    if (recorder_ptr != nullptr) {
+      DumpFlightRecorderToStderr(recorder, "non-OK run status");
+    }
+    if (!statusz_path.empty()) {
+      WriteStatusz(statusz_path, "search --mutate-spec", errors[q], &registry,
+                   recorder_ptr);
+    }
+    return errors[q].ExitCode();
+  }
   size_t hits = 0;
   size_t denom = 0;
-  for (size_t q = 0; q < queries.num(); ++q) {
-    const float* query = queries.Row(static_cast<idx_t>(q));
-    const StatusOr<std::vector<Neighbor>> got =
-        snapshot->TrySearch(query, k, options, &workspace);
-    if (!got.ok()) {
-      std::fprintf(stderr, "query %zu failed: %s\n", q,
-                   got.status().ToString().c_str());
-      return got.status().ExitCode();
-    }
-    std::vector<Neighbor> truth;
-    for (size_t id = 0; id < snapshot->num_points(); ++id) {
-      if (!snapshot->IsLive(static_cast<idx_t>(id))) continue;
-      truth.emplace_back(
-          dist(query, snapshot->data().Row(static_cast<idx_t>(id)), dim),
-          static_cast<idx_t>(id));
-    }
-    std::sort(truth.begin(), truth.end());
-    if (truth.size() > k) truth.resize(k);
-    denom += truth.size();
-    for (const Neighbor& n : got.value()) {
-      for (const Neighbor& t : truth) {
-        if (n.id == t.id) {
-          ++hits;
-          break;
-        }
-      }
-    }
+  for (size_t t = 0; t < workers; ++t) {
+    hits += hits_per[t];
+    denom += denom_per[t];
   }
-  std::printf("queries: %zu, k=%zu, queue=%zu, config=%s\n", queries.num(), k,
-              options.queue_size, options.Name().c_str());
+  std::printf("queries: %zu, k=%zu, queue=%zu, config=%s, workers=%zu\n",
+              queries.num(), k, options.queue_size, options.Name().c_str(),
+              workers);
   std::printf("search wall: %.3fs (%.0f QPS)\n", search_timer.ElapsedSeconds(),
               queries.num() / std::max(1e-9, search_timer.ElapsedSeconds()));
   std::printf("recall@%zu vs live set: %.4f\n", k,
               denom == 0 ? 0.0 : static_cast<double>(hits) / denom);
 
   int status = 0;
-  const std::string metrics_path = Optional(flags, "metrics", "");
+  if (faults_fired.load(std::memory_order_relaxed) > 0) {
+    DumpFlightRecorderToStderr(recorder, "fault site fired");
+  }
   if (!metrics_path.empty()) {
     if (obs::WriteStringToFile(metrics_path,
                                obs::MetricsToPrometheusText(registry))) {
@@ -463,7 +578,6 @@ int RunMutateSearch(const Flags& flags, Dataset data, FixedDegreeGraph graph,
       status = 1;
     }
   }
-  const std::string metrics_json_path = Optional(flags, "metrics-json", "");
   if (!metrics_json_path.empty()) {
     if (obs::WriteStringToFile(metrics_json_path,
                                obs::MetricsToJson(registry))) {
@@ -471,6 +585,17 @@ int RunMutateSearch(const Flags& flags, Dataset data, FixedDegreeGraph graph,
     } else {
       status = 1;
     }
+  }
+  if (!flight_path.empty()) {
+    if (obs::WriteStringToFile(flight_path, recorder.ToJson())) {
+      std::printf("wrote flight recorder to %s\n", flight_path.c_str());
+    } else {
+      status = 1;
+    }
+  }
+  if (!statusz_path.empty()) {
+    status |= WriteStatusz(statusz_path, "search --mutate-spec", Status::OK(),
+                           &registry, recorder_ptr);
   }
   return status;
 }
@@ -480,7 +605,8 @@ int CmdSearch(const Flags& flags) {
              {"data", "graph", "queries", "metric", "k", "queue", "config",
               "reorder", "gt", "gpu", "metrics", "metrics-json", "trace",
               "trace-sample", "deadline-us", "cost-budget", "max-inflight",
-              "fault-spec", "fault-seed", "mutate-spec"});
+              "fault-spec", "fault-seed", "mutate-spec", "statusz",
+              "flight-recorder"});
 
   const std::string fault_spec = Optional(flags, "fault-spec", "");
   if (!fault_spec.empty()) {
@@ -558,15 +684,32 @@ int CmdSearch(const Flags& flags) {
   const std::string metrics_path = Optional(flags, "metrics", "");
   const std::string metrics_json_path = Optional(flags, "metrics-json", "");
   const std::string trace_path = Optional(flags, "trace", "");
+  const std::string statusz_path = Optional(flags, "statusz", "");
+  const std::string flight_path = Optional(flags, "flight-recorder", "");
   obs::MetricsRegistry registry;
+  obs::FlightRecorder recorder;
   BatchTelemetry telemetry;
   if (!metrics_path.empty() || !metrics_json_path.empty() ||
-      !trace_path.empty()) {
+      !trace_path.empty() || !statusz_path.empty()) {
     telemetry.registry = &registry;
+  }
+  if (!statusz_path.empty() || !flight_path.empty()) {
+    telemetry.flight_recorder = &recorder;
   }
   if (!trace_path.empty()) {
     telemetry.trace_sample_period = static_cast<uint32_t>(std::strtoul(
         Optional(flags, "trace-sample", "1").c_str(), nullptr, 10));
+  }
+
+  std::atomic<uint64_t> faults_fired{0};
+  FaultListenerGuard listener_guard;
+  if (telemetry.flight_recorder != nullptr &&
+      fault::FaultRegistry::Global().enabled()) {
+    fault::FaultRegistry::Global().SetInjectionListener(
+        [&faults_fired](std::string_view) {
+          faults_fired.fetch_add(1, std::memory_order_relaxed);
+        });
+    listener_guard.armed = true;
   }
 
   StatusOr<SimulatedRun> run_or =
@@ -575,6 +718,13 @@ int CmdSearch(const Flags& flags) {
   if (!run_or.ok()) {
     std::fprintf(stderr, "search failed: %s\n",
                  run_or.status().ToString().c_str());
+    if (telemetry.flight_recorder != nullptr) {
+      DumpFlightRecorderToStderr(recorder, "non-OK run status");
+    }
+    if (!statusz_path.empty()) {
+      WriteStatusz(statusz_path, "search", run_or.status(), &registry,
+                   telemetry.flight_recorder);
+    }
     return run_or.status().ExitCode();
   }
   const SimulatedRun run = std::move(run_or).value();
@@ -628,6 +778,9 @@ int CmdSearch(const Flags& flags) {
   }
 
   int status = 0;
+  if (faults_fired.load(std::memory_order_relaxed) > 0) {
+    DumpFlightRecorderToStderr(recorder, "fault site fired");
+  }
   if (!metrics_path.empty()) {
     if (obs::WriteStringToFile(metrics_path,
                                obs::MetricsToPrometheusText(registry))) {
@@ -643,6 +796,17 @@ int CmdSearch(const Flags& flags) {
     } else {
       status = 1;
     }
+  }
+  if (!flight_path.empty()) {
+    if (obs::WriteStringToFile(flight_path, recorder.ToJson())) {
+      std::printf("wrote flight recorder to %s\n", flight_path.c_str());
+    } else {
+      status = 1;
+    }
+  }
+  if (!statusz_path.empty()) {
+    status |= WriteStatusz(statusz_path, "search", Status::OK(), &registry,
+                           telemetry.flight_recorder);
   }
   if (!trace_path.empty()) {
     CostModel model(gpu);

@@ -1,11 +1,13 @@
 #!/usr/bin/env python3
 """Validates telemetry artifacts emitted by song_cli / the obs exporters.
 
-Stdlib-only. Three artifact kinds, any subset per invocation:
+Stdlib-only. Five artifact kinds, any subset per invocation:
 
   validate_telemetry.py --trace out.trace.json \
                         --metrics-json out.metrics.json \
-                        --metrics out.prom
+                        --metrics out.prom \
+                        --statusz statusz.json \
+                        --flight-recorder flight.json
 
 Checks (see docs/observability.md for the formats):
   * Chrome trace: well-formed trace_event JSON; every "X" event carries
@@ -15,9 +17,18 @@ Checks (see docs/observability.md for the formats):
     breakdown seconds.
   * Metrics JSON: schema_version plus counters/gauges/histograms maps;
     histogram entries carry count/sum/min/max/p50/p95/p99 with ordered
-    percentiles.
+    percentiles. When all four song.req.* stage histograms are present,
+    their counts must be equal and sum(total_us) must telescope to
+    sum(queue) + sum(batch_form) + sum(search) (per-record float rounding
+    slack).
   * Prometheus text: every non-comment line is `name value`; every metric
     is preceded by a `# TYPE` declaration.
+  * Flight recorder: schema_version/capacity (power of two)/
+    total_recorded/records; each record's total_us telescopes to its three
+    stages and its fields are typed and non-negative.
+  * Statusz: the one-shot dump — command/status/build/simd/fault sections
+    plus embedded metrics + flight-recorder documents (each either null or
+    valid per the rules above).
 
 Exit code 0 = all artifacts valid, 1 = validation failure, 2 = usage.
 """
@@ -111,33 +122,173 @@ def validate_chrome_trace(path):
     return len(query_spans)
 
 
-def validate_metrics_json(path):
-    with open(path, "r", encoding="utf-8") as f:
-        doc = json.load(f)
-    check(isinstance(doc, dict), "metrics-json: top level must be an object")
+REQ_STAGE_HISTOGRAMS = ("song.req.queue_us", "song.req.batch_form_us",
+                        "song.req.search_us")
+REQ_TOTAL_HISTOGRAM = "song.req.total_us"
+# Per-record total_us is a rounded float sum of three float stages; over N
+# records the histogram sums (doubles of those floats) telescope to within
+# this relative slack.
+REQ_SUM_REL_TOL = 1e-3
+
+
+def validate_metrics_doc(doc, label="metrics-json"):
+    check(isinstance(doc, dict), f"{label}: top level must be an object")
     check(doc.get("schema_version") == 1,
-          f"metrics-json: unknown schema_version {doc.get('schema_version')}")
+          f"{label}: unknown schema_version {doc.get('schema_version')}")
     for section in ("counters", "gauges", "histograms"):
         check(isinstance(doc.get(section), dict),
-              f"metrics-json: missing {section!r} object")
+              f"{label}: missing {section!r} object")
     for name, value in doc["counters"].items():
         check(isinstance(value, int) and value >= 0,
-              f"metrics-json: counter {name!r} not a non-negative int")
+              f"{label}: counter {name!r} not a non-negative int")
     for name, value in doc["gauges"].items():
         check(isinstance(value, (int, float)),
-              f"metrics-json: gauge {name!r} not numeric")
+              f"{label}: gauge {name!r} not numeric")
     for name, h in doc["histograms"].items():
         check(isinstance(h, dict),
-              f"metrics-json: histogram {name!r} not an object")
+              f"{label}: histogram {name!r} not an object")
         for key in ("count", "sum", "min", "max", "p50", "p95", "p99"):
-            check(key in h, f"metrics-json: histogram {name!r} missing "
-                            f"{key!r}")
+            check(key in h, f"{label}: histogram {name!r} missing {key!r}")
         if h["count"] > 0:
             check(h["min"] <= h["p50"] <= h["p95"] <= h["p99"] <= h["max"]
                   or close(h["min"], h["max"], rel=0.2),
-                  f"metrics-json: histogram {name!r} percentiles out of "
+                  f"{label}: histogram {name!r} percentiles out of "
                   f"order: {h}")
+
+    # Request-lifecycle telescoping: the four song.req.* stage histograms
+    # must agree on count, and total must be the sum of the three stages.
+    hists = doc["histograms"]
+    if REQ_TOTAL_HISTOGRAM in hists:
+        total = hists[REQ_TOTAL_HISTOGRAM]
+        stage_sum = 0.0
+        for name in REQ_STAGE_HISTOGRAMS:
+            check(name in hists,
+                  f"{label}: {REQ_TOTAL_HISTOGRAM} present but {name!r} "
+                  f"missing")
+            check(hists[name]["count"] == total["count"],
+                  f"{label}: {name!r} count {hists[name]['count']} != "
+                  f"{REQ_TOTAL_HISTOGRAM} count {total['count']}")
+            stage_sum += hists[name]["sum"]
+        check(close(stage_sum, total["sum"], rel=REQ_SUM_REL_TOL),
+              f"{label}: song.req stage sums {stage_sum:.6g} do not "
+              f"telescope to total {total['sum']:.6g} "
+              f"(>{REQ_SUM_REL_TOL:.2%} off)")
+
     return sum(len(doc[s]) for s in ("counters", "gauges", "histograms"))
+
+
+def validate_metrics_json(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    return validate_metrics_doc(doc)
+
+
+def validate_flight_recorder_doc(doc, label="flight-recorder"):
+    check(isinstance(doc, dict), f"{label}: top level must be an object")
+    check(doc.get("schema_version") == 1,
+          f"{label}: unknown schema_version {doc.get('schema_version')}")
+    capacity = doc.get("capacity")
+    check(isinstance(capacity, int) and capacity >= 2 and
+          capacity & (capacity - 1) == 0,
+          f"{label}: capacity {capacity!r} not a power of two >= 2")
+    total = doc.get("total_recorded")
+    check(isinstance(total, int) and total >= 0,
+          f"{label}: total_recorded {total!r} not a non-negative int")
+    records = doc.get("records")
+    check(isinstance(records, list), f"{label}: missing records list")
+    check(len(records) <= capacity,
+          f"{label}: {len(records)} records exceed capacity {capacity}")
+    check(len(records) <= total,
+          f"{label}: {len(records)} records but only {total} ever recorded")
+    for i, r in enumerate(records):
+        check(isinstance(r, dict), f"{label}: record {i} not an object")
+        for key in ("request_id", "options_digest", "snapshot_version",
+                    "queue_us", "batch_form_us", "search_us", "total_us",
+                    "status", "status_code", "degraded", "rejected",
+                    "shards_answered", "shards_total"):
+            check(key in r, f"{label}: record {i} missing {key!r}")
+        check(isinstance(r["options_digest"], str) and
+              r["options_digest"].startswith("0x"),
+              f"{label}: record {i} options_digest not a hex string")
+        for key in ("queue_us", "batch_form_us", "search_us", "total_us"):
+            check(isinstance(r[key], (int, float)) and r[key] >= 0,
+                  f"{label}: record {i} {key!r} negative or non-numeric")
+        check(isinstance(r["status"], str) and r["status"],
+              f"{label}: record {i} status not a non-empty string")
+        check(isinstance(r["degraded"], bool) and
+              isinstance(r["rejected"], bool),
+              f"{label}: record {i} degraded/rejected not booleans")
+        check(r["shards_answered"] <= r["shards_total"] or
+              r["shards_total"] == 0,
+              f"{label}: record {i} answers more shards than exist: {r}")
+        stage_sum = r["queue_us"] + r["batch_form_us"] + r["search_us"]
+        check(close(stage_sum, r["total_us"], rel=REQ_SUM_REL_TOL) or
+              close(stage_sum, 0.0),
+              f"{label}: record {i} stages {stage_sum:.6g}us do not "
+              f"telescope to total_us {r['total_us']:.6g}")
+    return len(records)
+
+
+def validate_flight_recorder(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    return validate_flight_recorder_doc(doc)
+
+
+def validate_statusz(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    check(isinstance(doc, dict), "statusz: top level must be an object")
+    check(doc.get("schema_version") == 1,
+          f"statusz: unknown schema_version {doc.get('schema_version')}")
+    check(isinstance(doc.get("command"), str),
+          "statusz: missing command string")
+
+    status = doc.get("status")
+    check(isinstance(status, dict), "statusz: missing status object")
+    check(isinstance(status.get("code"), int) and status["code"] >= 0,
+          f"statusz: status.code {status.get('code')!r} not a "
+          f"non-negative int")
+    check(isinstance(status.get("name"), str) and status["name"],
+          "statusz: status.name not a non-empty string")
+    check("message" in status, "statusz: status.message missing")
+    check((status["code"] == 0) == (status["name"] == "ok"),
+          f"statusz: status.code {status['code']} inconsistent with "
+          f"status.name {status['name']!r}")
+
+    build = doc.get("build")
+    check(isinstance(build, dict) and isinstance(build.get("describe"), str)
+          and build["describe"],
+          "statusz: build.describe not a non-empty string")
+
+    simd = doc.get("simd")
+    check(isinstance(simd, dict), "statusz: missing simd object")
+    for key in ("cpu_tier", "active_tier"):
+        check(isinstance(simd.get(key), str) and simd[key],
+              f"statusz: simd.{key} not a non-empty string")
+
+    fault = doc.get("fault")
+    check(isinstance(fault, dict), "statusz: missing fault object")
+    check(isinstance(fault.get("armed"), bool),
+          "statusz: fault.armed not a boolean")
+    check(isinstance(fault.get("spec"), str), "statusz: fault.spec missing")
+    check(isinstance(fault.get("injected_total"), int) and
+          fault["injected_total"] >= 0,
+          "statusz: fault.injected_total not a non-negative int")
+    check(isinstance(fault.get("sites"), dict),
+          "statusz: fault.sites not an object")
+
+    sections = 0
+    check("metrics" in doc, "statusz: metrics section missing (may be null)")
+    if doc["metrics"] is not None:
+        sections += validate_metrics_doc(doc["metrics"],
+                                         label="statusz.metrics")
+    check("flight_recorder" in doc,
+          "statusz: flight_recorder section missing (may be null)")
+    if doc["flight_recorder"] is not None:
+        sections += validate_flight_recorder_doc(
+            doc["flight_recorder"], label="statusz.flight_recorder")
+    return sections
 
 
 def validate_prometheus(path):
@@ -182,10 +333,14 @@ def main():
     parser.add_argument("--trace", help="Chrome trace_event JSON file")
     parser.add_argument("--metrics-json", help="metrics JSON file")
     parser.add_argument("--metrics", help="Prometheus text file")
+    parser.add_argument("--statusz", help="statusz one-shot dump JSON file")
+    parser.add_argument("--flight-recorder",
+                        help="flight recorder ring dump JSON file")
     args = parser.parse_args()
-    if not (args.trace or args.metrics_json or args.metrics):
-        parser.error("nothing to validate: pass --trace, --metrics-json "
-                     "and/or --metrics")
+    if not (args.trace or args.metrics_json or args.metrics or args.statusz
+            or args.flight_recorder):
+        parser.error("nothing to validate: pass --trace, --metrics-json, "
+                     "--metrics, --statusz and/or --flight-recorder")
     try:
         if args.trace:
             n = validate_chrome_trace(args.trace)
@@ -197,6 +352,12 @@ def main():
         if args.metrics:
             n = validate_prometheus(args.metrics)
             print(f"OK {args.metrics}: {n} samples")
+        if args.statusz:
+            n = validate_statusz(args.statusz)
+            print(f"OK {args.statusz}: {n} embedded metrics/records")
+        if args.flight_recorder:
+            n = validate_flight_recorder(args.flight_recorder)
+            print(f"OK {args.flight_recorder}: {n} records")
     except (ValidationError, OSError, json.JSONDecodeError) as e:
         print(f"FAIL: {e}", file=sys.stderr)
         return 1
