@@ -1,0 +1,250 @@
+// Micro benches for the PQ asymmetric-distance substrate: the ADC gather
+// kernel (per-query LUT accumulation over m-byte codes) across subquantizer
+// counts {8, 16, 32, 64}, per SIMD tier, single-id vs fused batch.
+//
+// main() first runs a dispatch sweep — scalar vs AVX2 vs AVX-512 — and
+// prints ns/code plus speedup-vs-scalar. With SONG_BENCH_JSON_DIR set it
+// also writes BENCH_micro_adc.json (bench/baselines/ holds a committed
+// reference artifact; tools/bench_gate.py compares runs against it).
+// SONG_BENCH_SMOKE=1 shrinks the sweep for CI.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/distance_kernels.h"
+#include "core/simd.h"
+#include "core/types.h"
+#include "data/synthetic.h"
+#include "obs/exporters.h"
+#include "quant/pq.h"
+#include "quant/pq_distance.h"
+
+namespace song {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SIMD dispatch sweep (runs once from main, before google-benchmark).
+// ---------------------------------------------------------------------------
+
+struct SweepResult {
+  size_t m = 0;           ///< code bytes per point (subquantizers)
+  const char* mode = "";  ///< "single" or "batch"
+  SimdTier tier = SimdTier::kScalar;
+  double ns_per_code = 0.0;
+  double speedup_vs_scalar = 1.0;
+};
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Times one (tier, mode, m) cell: the ADC table against `n` code rows in
+/// shuffled id order (the Stage 2 gather pattern), best-of-`reps` wall time
+/// per pass, each timed rep looping enough passes to fill ~1 ms.
+double TimeCell(internal::AdcGatherKernel kernel, bool batch,
+                const std::vector<float>& table,
+                const std::vector<uint8_t>& codes, size_t m,
+                const std::vector<idx_t>& ids, size_t reps,
+                std::vector<float>* out) {
+  const size_t n = ids.size();
+  out->resize(n);
+  const auto one_pass = [&] {
+    if (batch) {
+      kernel(table.data(), codes.data(), m, ids.data(), n, out->data());
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        kernel(table.data(), codes.data(), m, &ids[i], 1, out->data() + i);
+      }
+    }
+  };
+  const double warm_start = Now();
+  one_pass();
+  const double warm = std::max(Now() - warm_start, 1e-9);
+  const size_t passes = std::max<size_t>(1, static_cast<size_t>(1e-3 / warm));
+  double best = 1e30;
+  for (size_t r = 0; r < reps; ++r) {
+    const double start = Now();
+    for (size_t p = 0; p < passes; ++p) one_pass();
+    best = std::min(best, (Now() - start) / static_cast<double>(passes));
+  }
+  float sink = 0.0f;
+  for (const float v : *out) sink += v;
+  benchmark::DoNotOptimize(sink);
+  return best * 1e9 / static_cast<double>(n);
+}
+
+std::string SweepToJson(const std::vector<SweepResult>& results) {
+  std::string out = "{\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  \"schema_version\": %d,\n  \"bench\": \"micro_adc\",\n",
+                bench::kBenchJsonSchemaVersion);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "  \"git_describe\": \"%s\",\n",
+                bench::BenchGitDescribe());
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"cpu_tier\": \"%s\",\n  \"active_tier\": \"%s\",\n",
+                SimdTierName(CpuSimdTier()), SimdTierName(ActiveSimdTier()));
+  out += buf;
+  out += "  \"results\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const SweepResult& r = results[i];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"m\": %zu, \"mode\": \"%s\", \"tier\": \"%s\", "
+                  "\"ns_per_code\": %.3f, \"speedup_vs_scalar\": %.2f}%s\n",
+                  r.m, r.mode, SimdTierName(r.tier), r.ns_per_code,
+                  r.speedup_vs_scalar, i + 1 < results.size() ? "," : "");
+    out += buf;
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+void RunDispatchSweep() {
+  const bool smoke = std::getenv("SONG_BENCH_SMOKE") != nullptr;
+  const size_t reps = smoke ? 3 : 31;
+  const std::vector<size_t> ms = {8, 16, 32, 64};
+
+  std::vector<SimdTier> tiers = {SimdTier::kScalar};
+  for (const SimdTier t : {SimdTier::kAvx2, SimdTier::kAvx512}) {
+    if (SimdTierCompiled(t) && t <= CpuSimdTier()) tiers.push_back(t);
+  }
+
+  std::printf("ADC dispatch sweep: cpu=%s active=%s (best of %zu)\n",
+              SimdTierName(CpuSimdTier()), SimdTierName(ActiveSimdTier()),
+              reps);
+  std::printf("%6s %-7s %-7s %12s %10s\n", "m", "mode", "tier", "ns/code",
+              "vs scalar");
+
+  std::vector<SweepResult> results;
+  std::vector<float> out;
+  for (const size_t m : ms) {
+    // Keep codes L2-resident (the traversal's hot working set): ~1 MB cap.
+    const size_t n = smoke ? 256 : std::min<size_t>(2048, (1u << 20) / m);
+    std::mt19937 rng(static_cast<uint32_t>(m) * 7919u + 29u);
+    std::vector<float> table(m * 256);
+    std::normal_distribution<float> nd;
+    for (float& x : table) x = nd(rng);
+    std::vector<uint8_t> codes(n * m);
+    std::uniform_int_distribution<int> byte(0, 255);
+    for (uint8_t& c : codes) c = static_cast<uint8_t>(byte(rng));
+    std::vector<idx_t> ids(n);
+    for (size_t i = 0; i < n; ++i) ids[i] = static_cast<idx_t>(i);
+    std::shuffle(ids.begin(), ids.end(), rng);
+
+    for (const bool batch : {false, true}) {
+      double scalar_ns = 0.0;
+      for (const SimdTier tier : tiers) {
+        const internal::AdcGatherKernel kernel =
+            internal::KernelTableForTier(tier).adc_gather;
+        SweepResult r;
+        r.m = m;
+        r.mode = batch ? "batch" : "single";
+        r.tier = tier;
+        r.ns_per_code =
+            TimeCell(kernel, batch, table, codes, m, ids, reps, &out);
+        if (tier == SimdTier::kScalar) scalar_ns = r.ns_per_code;
+        r.speedup_vs_scalar =
+            r.ns_per_code > 0.0 ? scalar_ns / r.ns_per_code : 0.0;
+        std::printf("%6zu %-7s %-7s %12.2f %9.2fx\n", r.m, r.mode,
+                    SimdTierName(r.tier), r.ns_per_code,
+                    r.speedup_vs_scalar);
+        results.push_back(r);
+      }
+    }
+  }
+
+  const char* dir = std::getenv("SONG_BENCH_JSON_DIR");
+  if (dir != nullptr && *dir != '\0') {
+    const std::string path = std::string(dir) + "/BENCH_micro_adc.json";
+    if (obs::WriteStringToFile(path, SweepToJson(results))) {
+      std::printf("wrote %s\n", path.c_str());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark suite.
+// ---------------------------------------------------------------------------
+
+/// Shared trained quantizer + encoded corpus for the end-to-end ADC benches.
+struct AdcFixtureData {
+  ProductQuantizer pq;
+  std::vector<float> query;
+  std::unique_ptr<Dataset> data;
+  static AdcFixtureData& Get() {
+    static AdcFixtureData* f = [] {
+      auto* fx = new AdcFixtureData();
+      SyntheticSpec spec;
+      spec.dim = 128;
+      spec.num_points = 8000;
+      spec.num_queries = 1;
+      spec.num_clusters = 40;
+      spec.cluster_std = 0.7;
+      spec.seed = 6001;
+      SyntheticData gen = GenerateSynthetic(spec);
+      fx->query.assign(gen.queries.Row(0), gen.queries.Row(0) + spec.dim);
+      fx->data = std::make_unique<Dataset>(std::move(gen.points));
+      PqOptions popts;
+      popts.num_subquantizers = 16;
+      popts.train_iterations = 4;  // codebook quality is irrelevant here
+      fx->pq.Train(*fx->data, popts);
+      return fx;
+    }();
+    return *f;
+  }
+};
+
+void BM_AdcTableBuild(benchmark::State& state) {
+  auto& fx = AdcFixtureData::Get();
+  std::vector<float> table(fx.pq.TableEntries());
+  for (auto _ : state) {
+    fx.pq.ComputeAdcTable(fx.query.data(), Metric::kL2, table.data());
+    benchmark::DoNotOptimize(table.data());
+  }
+  state.SetItemsProcessed(state.iterations() * table.size());
+}
+BENCHMARK(BM_AdcTableBuild);
+
+void BM_AdcBatch(benchmark::State& state) {
+  auto& fx = AdcFixtureData::Get();
+  PqBatchDistance pqd(fx.pq, *fx.data);
+  std::vector<float> table;
+  pqd.BuildAdcTable(fx.query.data(), Metric::kL2, &table);
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<idx_t> ids(n);
+  std::mt19937 rng(17);
+  std::uniform_int_distribution<idx_t> pick(
+      0, static_cast<idx_t>(fx.data->num() - 1));
+  for (idx_t& id : ids) id = pick(rng);
+  std::vector<float> out(n);
+  for (auto _ : state) {
+    pqd.ComputeBatch(table.data(), ids.data(), n, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AdcBatch)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace song
+
+int main(int argc, char** argv) {
+  song::RunDispatchSweep();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,6 +1,9 @@
 // Table IV reproduction: hashed dataset sizes for MNIST8m. Shows the
 // scaled preset this repo materializes AND the paper-scale arithmetic
 // (8,090,000 points) the table quotes — both follow bits/8 bytes per point.
+// PQ rows ride along (m bytes/point + the m*256*sub_dim-float codebook):
+// the compressed-traversal alternative keeps the original floats reachable
+// for rerank, so its device budget is codes + codebook, not codes alone.
 
 #include <cstdio>
 
@@ -26,6 +29,23 @@ int main() {
     const double paper_mb = static_cast<double>(kPaperN) * (bits / 8.0) /
                             (1024.0 * 1024.0);
     std::printf("%10zu | %11.2f MB | %11.0f MB\n", bits, local_mb, paper_mb);
+  }
+  for (const size_t m : {8, 16, 32, 64}) {
+    // PQ device bytes: m code bytes per point plus the shared codebook
+    // (m subquantizers * 256 centroids * dim/m floats = dim * 256 floats).
+    const double codebook_mb =
+        static_cast<double>(spec.dim) * 256.0 * 4.0 / (1024.0 * 1024.0);
+    const double local_mb =
+        static_cast<double>(n_local) * static_cast<double>(m) /
+            (1024.0 * 1024.0) +
+        codebook_mb;
+    const double paper_mb =
+        static_cast<double>(kPaperN) * static_cast<double>(m) /
+            (1024.0 * 1024.0) +
+        codebook_mb;
+    char label[16];
+    std::snprintf(label, sizeof(label), "PQ-%zu", m);
+    std::printf("%10s | %11.2f MB | %11.0f MB\n", label, local_mb, paper_mb);
   }
   const double local_orig =
       static_cast<double>(gen.points.PayloadBytes()) / (1024.0 * 1024.0);

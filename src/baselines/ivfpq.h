@@ -14,11 +14,11 @@
 #include <string>
 #include <vector>
 
-#include "baselines/pq.h"
 #include "core/dataset.h"
 #include "core/distance.h"
 #include "core/types.h"
 #include "obs/metrics.h"
+#include "quant/pq.h"
 
 namespace song {
 

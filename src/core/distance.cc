@@ -85,6 +85,25 @@ void ScalarRange(const float* q, const float* base, size_t stride, size_t dim,
   }
 }
 
+// ADC accumulation, 4-way unrolled over subquantizers (the SIMD tiers gather
+// 8/16 table rows per step; this order is the cross-tier oracle reference).
+void ScalarAdcGather(const float* table, const uint8_t* codes, size_t m,
+                     const idx_t* ids, size_t n, float* out) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t* code = codes + static_cast<size_t>(ids[i]) * m;
+    float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+    size_t s = 0;
+    for (; s + 4 <= m; s += 4) {
+      s0 += table[(s + 0) * 256 + code[s + 0]];
+      s1 += table[(s + 1) * 256 + code[s + 1]];
+      s2 += table[(s + 2) * 256 + code[s + 2]];
+      s3 += table[(s + 3) * 256 + code[s + 3]];
+    }
+    for (; s < m; ++s) s0 += table[s * 256 + code[s]];
+    out[i] = (s0 + s1) + (s2 + s3);
+  }
+}
+
 }  // namespace
 
 const DistanceKernelTable& ScalarKernelTable() {
@@ -99,6 +118,7 @@ const DistanceKernelTable& ScalarKernelTable() {
     t.dot_gather = &ScalarGather<&ScalarDot>;
     t.l2_range = &ScalarRange<&ScalarL2Sqr>;
     t.dot_range = &ScalarRange<&ScalarDot>;
+    t.adc_gather = &ScalarAdcGather;
     return t;
   }();
   return table;

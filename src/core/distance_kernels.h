@@ -41,6 +41,18 @@ using GatherKernel = void (*)(const float* q, const float* base,
 using RangeKernel = void (*)(const float* q, const float* base, size_t stride,
                              size_t dim, idx_t first, size_t n, float* out);
 
+/// PQ asymmetric-distance accumulation over gathered m-byte codes:
+///   out[i] = sum_{s < m} table[s * 256 + codes[ids[i] * m + s]]
+/// where `table` is the per-query ADC lookup table (m * 256 floats, row s =
+/// subquantizer s) and `codes` the flat encoded dataset. SIMD tiers widen
+/// the code bytes and gather the selected table entries lane-parallel; like
+/// the float kernels, per-tier summation order is fixed (batch == single
+/// within a tier) and cross-tier results agree with the scalar/double oracle
+/// within an m-scaled few-ulp tolerance.
+using AdcGatherKernel = void (*)(const float* table, const uint8_t* codes,
+                                 size_t m, const idx_t* ids, size_t n,
+                                 float* out);
+
 struct DistanceKernelTable {
   /// False when this TU was built without its -m flags (non-x86 target or
   /// toolchain without the extension): every pointer below then aliases the
@@ -56,6 +68,7 @@ struct DistanceKernelTable {
   GatherKernel dot_gather = nullptr;
   RangeKernel l2_range = nullptr;
   RangeKernel dot_range = nullptr;
+  AdcGatherKernel adc_gather = nullptr;
 };
 
 const DistanceKernelTable& ScalarKernelTable();

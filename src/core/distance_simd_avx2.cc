@@ -179,6 +179,37 @@ void DotRangeAvx2(const float* q, const float* base, size_t stride,
   RangeImpl<DotOp>(q, base, stride, dim, first, n, out);
 }
 
+/// ADC LUT accumulation, 8 subquantizers per step: the 8 code bytes widen to
+/// epi32 lane indices, each offset by its subquantizer's 256-float table row,
+/// and one vgatherdps pulls the 8 selected entries. Per-row order: 8-lane
+/// blocks into one accumulator, scalar tail — fixed, so batch == single
+/// within this tier.
+void AdcGatherAvx2(const float* table, const uint8_t* codes, size_t m,
+                   const idx_t* ids, size_t n, float* out) {
+  const __m256i row_offsets =
+      _mm256_setr_epi32(0, 256, 512, 768, 1024, 1280, 1536, 1792);
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t* code = codes + static_cast<size_t>(ids[i]) * m;
+    if (i + 1 < n) {
+      _mm_prefetch(reinterpret_cast<const char*>(
+                       codes + static_cast<size_t>(ids[i + 1]) * m),
+                   _MM_HINT_T0);
+    }
+    __m256 acc = _mm256_setzero_ps();
+    size_t s = 0;
+    for (; s + 8 <= m; s += 8) {
+      const __m128i bytes =
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(code + s));
+      const __m256i idx =
+          _mm256_add_epi32(_mm256_cvtepu8_epi32(bytes), row_offsets);
+      acc = _mm256_add_ps(acc, _mm256_i32gather_ps(table + s * 256, idx, 4));
+    }
+    float tail = 0.0f;
+    for (; s < m; ++s) tail += table[s * 256 + code[s]];
+    out[i] = Hsum(acc) + tail;
+  }
+}
+
 }  // namespace
 
 const DistanceKernelTable& Avx2KernelTable() {
@@ -193,6 +224,7 @@ const DistanceKernelTable& Avx2KernelTable() {
     t.dot_gather = &DotGatherAvx2;
     t.l2_range = &L2RangeAvx2;
     t.dot_range = &DotRangeAvx2;
+    t.adc_gather = &AdcGatherAvx2;
     return t;
   }();
   return table;

@@ -170,6 +170,54 @@ void DotRangeAvx512(const float* q, const float* base, size_t stride,
   RangeImpl<DotOp>(q, base, stride, dim, first, n, out);
 }
 
+/// ADC LUT accumulation, 16 subquantizers per step (one vgatherdps over the
+/// 16 selected table entries), an 8-wide AVX2-style middle block for m % 16,
+/// then a scalar tail. Per-row order is fixed: 16-blocks into the 512-bit
+/// accumulator, 8-block into the 256-bit one, tail — batch == single within
+/// this tier.
+void AdcGatherAvx512(const float* table, const uint8_t* codes, size_t m,
+                     const idx_t* ids, size_t n, float* out) {
+  const __m512i row_offsets16 = _mm512_setr_epi32(
+      0, 256, 512, 768, 1024, 1280, 1536, 1792, 2048, 2304, 2560, 2816, 3072,
+      3328, 3584, 3840);
+  const __m256i row_offsets8 =
+      _mm256_setr_epi32(0, 256, 512, 768, 1024, 1280, 1536, 1792);
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t* code = codes + static_cast<size_t>(ids[i]) * m;
+    if (i + 1 < n) {
+      _mm_prefetch(reinterpret_cast<const char*>(
+                       codes + static_cast<size_t>(ids[i + 1]) * m),
+                   _MM_HINT_T0);
+    }
+    __m512 acc = _mm512_setzero_ps();
+    size_t s = 0;
+    for (; s + 16 <= m; s += 16) {
+      const __m128i bytes =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(code + s));
+      const __m512i idx =
+          _mm512_add_epi32(_mm512_cvtepu8_epi32(bytes), row_offsets16);
+      acc = _mm512_add_ps(acc, _mm512_i32gather_ps(idx, table + s * 256, 4));
+    }
+    __m256 acc8 = _mm256_setzero_ps();
+    if (s + 8 <= m) {
+      const __m128i bytes =
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(code + s));
+      const __m256i idx =
+          _mm256_add_epi32(_mm256_cvtepu8_epi32(bytes), row_offsets8);
+      acc8 = _mm256_i32gather_ps(table + s * 256, idx, 4);
+      s += 8;
+    }
+    float tail = 0.0f;
+    for (; s < m; ++s) tail += table[s * 256 + code[s]];
+    const __m128 lo = _mm256_castps256_ps128(acc8);
+    const __m128 hi = _mm256_extractf128_ps(acc8, 1);
+    __m128 h = _mm_add_ps(lo, hi);
+    h = _mm_add_ps(h, _mm_movehl_ps(h, h));
+    h = _mm_add_ss(h, _mm_movehdup_ps(h));
+    out[i] = _mm512_reduce_add_ps(acc) + _mm_cvtss_f32(h) + tail;
+  }
+}
+
 }  // namespace
 
 const DistanceKernelTable& Avx512KernelTable() {
@@ -184,6 +232,7 @@ const DistanceKernelTable& Avx512KernelTable() {
     t.dot_gather = &DotGatherAvx512;
     t.l2_range = &L2RangeAvx512;
     t.dot_range = &DotRangeAvx512;
+    t.adc_gather = &AdcGatherAvx512;
     return t;
   }();
   return table;

@@ -26,6 +26,11 @@ double CostModel::SharedBytesPerQuery(const WorkloadShape& shape,
   bytes += static_cast<double>(shape.degree * shape.multi_step) *
            (sizeof(idx_t) + sizeof(float));
   if (include_visited) bytes += static_cast<double>(visited_bytes);
+  // PQ traversal keeps the per-query ADC table resident in shared memory:
+  // every Stage-2 lookup hits it, so spilling it would dominate the kernel.
+  if (shape.pq_m > 0) {
+    bytes += static_cast<double>(shape.pq_m) * 256.0 * sizeof(float);
+  }
   return bytes;
 }
 
@@ -57,8 +62,27 @@ StageUnitCosts CostModel::UnitCosts(const WorkloadShape& shape,
   // one reduction (log2(32) shuffle steps) and one partially hidden latency
   // exposure for the first line of the vector.
   const double lanes = 32.0 / static_cast<double>(mq);
-  c.distance_per_candidate = static_cast<double>(shape.point_bytes) / lanes +
-                             5.0 + spec_.global_latency_cycles / 8.0;
+  if (shape.pq_m > 0) {
+    // PQ traversal: each candidate streams its m-byte code and performs m
+    // shared-memory LUT gathers, both spread over the warp's lanes, plus
+    // the same reduction + first-line latency exposure as the exact path.
+    const double m = static_cast<double>(shape.pq_m);
+    c.distance_per_candidate =
+        m / lanes + m * spec_.shared_latency_cycles / lanes + 5.0 +
+        spec_.global_latency_cycles / 8.0;
+    // ADC table build: each of the m*256 entries is a sub_dim-float
+    // partial distance, computed warp-parallel once per query.
+    const double sub_dim = static_cast<double>(shape.dim) / m;
+    c.distance_per_table_entry = sub_dim / lanes + 1.0;
+    // Exact rerank of the final pool: one full-vector distance per entry,
+    // priced like an exact-traversal candidate.
+    c.rerank_per_candidate =
+        static_cast<double>(shape.full_point_bytes) / lanes + 5.0 +
+        spec_.global_latency_cycles / 8.0;
+  } else {
+    c.distance_per_candidate = static_cast<double>(shape.point_bytes) / lanes +
+                               5.0 + spec_.global_latency_cycles / 8.0;
+  }
 
   // Stage 3: single-thread heap/hash maintenance on shared (or spilled)
   // structures, plus dist-array reads from the staging buffer.
@@ -142,7 +166,15 @@ KernelBreakdown CostModel::Estimate(const SearchStats& totals,
   const double locate_cycles = rows * unit.locate_per_row +
                                pops * unit.locate_per_pop +
                                tests * unit.locate_per_test;
-  const double distance_cycles = cands * unit.distance_per_candidate;
+  // Query-level PQ work joins the distance chain: the ADC table built once
+  // up front and the exact rerank of the final pool.
+  const double table_entries = static_cast<double>(totals.adc_tables_built) /
+                               nq * static_cast<double>(shape.pq_m) * 256.0;
+  const double reranks = static_cast<double>(totals.rerank_candidates) / nq;
+  const double distance_cycles =
+      cands * unit.distance_per_candidate +
+      table_entries * unit.distance_per_table_entry +
+      reranks * unit.rerank_per_candidate;
   const double maintain_cycles =
       pushes * unit.maintain_per_heap_push +
       topk_ops * unit.maintain_per_topk_op +
@@ -162,7 +194,8 @@ KernelBreakdown CostModel::Estimate(const SearchStats& totals,
 
   // ---- Throughput floors. ----
   double global_bytes = static_cast<double>(totals.graph_bytes_loaded +
-                                            totals.data_bytes_loaded);
+                                            totals.data_bytes_loaded +
+                                            totals.rerank_bytes_loaded);
   if (!visited_fits) {
     // Each spilled visited access touches one 32B sector.
     global_bytes += (static_cast<double>(totals.visited_tests +
@@ -173,8 +206,16 @@ KernelBreakdown CostModel::Estimate(const SearchStats& totals,
   const double mem_seconds =
       global_bytes / (spec_.mem_bandwidth_gbps * spec_.mem_efficiency * 1e9);
 
-  const double flops = static_cast<double>(totals.distance_computations) *
-                       static_cast<double>(shape.point_bytes) / 4.0 * 3.0;
+  double flops = static_cast<double>(totals.distance_computations) *
+                 static_cast<double>(shape.point_bytes) / 4.0 * 3.0;
+  if (shape.pq_m > 0) {
+    // ADC table: dim * 256 MACs per query; rerank: exact distances over the
+    // full vectors (the traversal term above only covers code lookups).
+    flops += static_cast<double>(totals.adc_tables_built) *
+             static_cast<double>(shape.dim) * 256.0 * 2.0;
+    flops += static_cast<double>(totals.rerank_candidates) *
+             static_cast<double>(shape.full_point_bytes) / 4.0 * 3.0;
+  }
   const double compute_seconds =
       flops / (static_cast<double>(spec_.TotalCores()) * clock_hz * 2.0);
 

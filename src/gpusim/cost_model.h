@@ -46,6 +46,13 @@ struct WorkloadShape {
   size_t multi_query = 1;
   size_t multi_step = 1;
   VisitedStructure structure = VisitedStructure::kHashTable;
+  /// PQ traversal (options.quant == kPq): subquantizer count m = code bytes
+  /// per point; 0 = exact traversal. When set, point_bytes is the m-byte
+  /// code fetched per Stage-2 candidate, full_point_bytes the exact vector
+  /// fetched per reranked pool entry, and the per-query ADC table
+  /// (m * 256 floats) is priced as shared-memory-resident.
+  size_t pq_m = 0;
+  size_t full_point_bytes = 0;
   /// true (default): report saturated throughput — the steady-state rate of
   /// a deep batch (the paper's 10k-1m query batches). false: model this
   /// exact batch size, quantizing work into whole waves of resident warps
@@ -107,6 +114,11 @@ struct StageUnitCosts {
   double locate_per_test = 0.0;      ///< visited probe during gather
   // Stage 2 — bulk distance.
   double distance_per_candidate = 0.0;
+  // Query-level PQ terms (zero when pq_m == 0). These price work that
+  // happens once per query outside the iteration loop, so PriceIteration
+  // never consumes them — only Estimate() does.
+  double distance_per_table_entry = 0.0;  ///< ADC table build, per entry
+  double rerank_per_candidate = 0.0;      ///< exact rescoring of the pool
   // Stage 3 — maintenance.
   double maintain_per_heap_push = 0.0;  ///< q push or eviction
   double maintain_per_topk_op = 0.0;

@@ -56,6 +56,11 @@ inline SimulatedRun SimulateBatch(const SongSearcher& searcher,
   shape.multi_query = options.multi_query;
   shape.multi_step = options.multi_step_probe;
   shape.structure = options.structure;
+  if (options.quant == QuantizationMode::kPq && searcher.pq_enabled()) {
+    shape.pq_m = searcher.pq_distance()->code_bytes();
+    shape.full_point_bytes = shape.point_bytes;
+    shape.point_bytes = shape.pq_m;  // Stage 2 fetches m-byte codes
+  }
   run.shape = shape;
 
   CostModel model(spec);
@@ -100,6 +105,11 @@ inline StatusOr<SimulatedRun> TrySimulateBatch(
   shape.multi_query = options.multi_query;
   shape.multi_step = options.multi_step_probe;
   shape.structure = options.structure;
+  if (options.quant == QuantizationMode::kPq && searcher.pq_enabled()) {
+    shape.pq_m = searcher.pq_distance()->code_bytes();
+    shape.full_point_bytes = shape.point_bytes;
+    shape.point_bytes = shape.pq_m;  // Stage 2 fetches m-byte codes
+  }
   run.shape = shape;
 
   CostModel model(spec);

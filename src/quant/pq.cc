@@ -1,6 +1,8 @@
-#include "baselines/pq.h"
+#include "quant/pq.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
 #include <limits>
 
 #include "baselines/kmeans.h"
@@ -81,6 +83,14 @@ void ProductQuantizer::Decode(const uint8_t* code, float* out) const {
 
 namespace {
 
+constexpr char kSngqMagic[4] = {'S', 'N', 'G', 'P'};
+
+/// Subspace count ceiling for deserialized headers: a real codebook never
+/// exceeds the vector dimensionality, and dim itself is bounded by what the
+/// rest of the system accepts. Keeps a hostile header from sizing anything.
+constexpr uint64_t kMaxSubquantizers = uint64_t{1} << 16;
+constexpr uint64_t kMaxDim = uint64_t{1} << 24;
+
 template <typename T>
 bool WriteVec(std::FILE* f, const std::vector<T>& v) {
   const uint64_t n = v.size();
@@ -88,10 +98,27 @@ bool WriteVec(std::FILE* f, const std::vector<T>& v) {
   return n == 0 || std::fwrite(v.data(), sizeof(T), v.size(), f) == v.size();
 }
 
+/// Remaining bytes between the current position and EOF; < 0 on seek error.
+int64_t RemainingBytes(std::FILE* f) {
+  const long pos = std::ftell(f);
+  if (pos < 0 || std::fseek(f, 0, SEEK_END) != 0) return -1;
+  const long end = std::ftell(f);
+  if (end < 0 || std::fseek(f, pos, SEEK_SET) != 0) return -1;
+  return static_cast<int64_t>(end - pos);
+}
+
+/// Length-prefixed vector read, bounded by the bytes actually left in the
+/// stream: a stomped 2^62 count fails cleanly instead of driving a giant
+/// allocation (the hostile-header contract of the corrupt-file fuzz suite).
 template <typename T>
 bool ReadVec(std::FILE* f, std::vector<T>* v) {
   uint64_t n = 0;
   if (std::fread(&n, 8, 1, f) != 1) return false;
+  const int64_t remaining = RemainingBytes(f);
+  if (remaining < 0 ||
+      n > static_cast<uint64_t>(remaining) / sizeof(T)) {
+    return false;
+  }
   v->resize(n);
   return n == 0 || std::fread(v->data(), sizeof(T), n, f) == n;
 }
@@ -112,20 +139,90 @@ Status ProductQuantizer::SaveTo(std::FILE* f) const {
 
 Status ProductQuantizer::LoadFrom(std::FILE* f) {
   uint64_t dim64 = 0, m64 = 0;
-  bool ok = std::fread(&dim64, 8, 1, f) == 1 &&
-            std::fread(&m64, 8, 1, f) == 1;
+  if (std::fread(&dim64, 8, 1, f) != 1 || std::fread(&m64, 8, 1, f) != 1) {
+    return Status::DataLoss("PQ codebook: truncated header");
+  }
+  if (m64 == 0 || m64 > kMaxSubquantizers || dim64 == 0 ||
+      dim64 > kMaxDim || m64 > dim64) {
+    return Status::DataLoss("PQ codebook: implausible header (m=" +
+                            std::to_string(m64) + ", dim=" +
+                            std::to_string(dim64) + ")");
+  }
   std::vector<uint64_t> offsets, centroid_offsets;
-  ok = ok && ReadVec(f, &offsets) && ReadVec(f, &centroid_offsets) &&
-       ReadVec(f, &codebooks_);
-  if (!ok || m64 == 0 || offsets.size() != m64 + 1) {
-    return Status::IOError("PQ read failed");
+  std::vector<float> codebooks;
+  if (!ReadVec(f, &offsets) || !ReadVec(f, &centroid_offsets) ||
+      !ReadVec(f, &codebooks)) {
+    return Status::DataLoss("PQ codebook: truncated body");
+  }
+  // Structural invariants: subspaces tile [0, dim) left to right, centroid
+  // offsets follow from the subspace widths, and the flat codebook is
+  // exactly 256 centroids per subspace. Anything else is corruption.
+  if (offsets.size() != m64 + 1 || offsets[0] != 0 || offsets[m64] != dim64) {
+    return Status::DataLoss("PQ codebook: bad subspace offsets");
+  }
+  if (centroid_offsets.size() != m64 + 1 || centroid_offsets[0] != 0) {
+    return Status::DataLoss("PQ codebook: bad centroid offsets");
+  }
+  for (size_t s = 0; s < m64; ++s) {
+    if (offsets[s + 1] <= offsets[s]) {
+      return Status::DataLoss("PQ codebook: non-increasing subspace offsets");
+    }
+    const uint64_t sub_dim = offsets[s + 1] - offsets[s];
+    if (centroid_offsets[s + 1] !=
+        centroid_offsets[s] + kCodebookSize * sub_dim) {
+      return Status::DataLoss("PQ codebook: centroid offsets inconsistent "
+                              "with subspace widths");
+    }
+  }
+  if (codebooks.size() != centroid_offsets[m64]) {
+    return Status::DataLoss("PQ codebook: codebook size " +
+                            std::to_string(codebooks.size()) +
+                            " != expected " +
+                            std::to_string(centroid_offsets[m64]));
+  }
+  for (const float v : codebooks) {
+    if (!std::isfinite(v)) {
+      return Status::DataLoss("PQ codebook: non-finite centroid value");
+    }
   }
   dim_ = static_cast<size_t>(dim64);
   m_ = static_cast<size_t>(m64);
   offsets_.assign(offsets.begin(), offsets.end());
   centroid_offsets_.assign(centroid_offsets.begin(), centroid_offsets.end());
+  codebooks_ = std::move(codebooks);
   trained_ = true;
   return Status::OK();
+}
+
+Status ProductQuantizer::Save(const std::string& path) const {
+  if (!trained_) {
+    return Status::FailedPrecondition("PQ codebook not trained; nothing to "
+                                      "save to " + path);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  bool ok = std::fwrite(kSngqMagic, 1, 4, f) == 4;
+  Status body = ok ? SaveTo(f) : Status::IOError("short write " + path);
+  std::fclose(f);
+  return body;
+}
+
+StatusOr<ProductQuantizer> ProductQuantizer::Load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  char magic[4];
+  if (std::fread(magic, 1, 4, f) != 4 ||
+      std::memcmp(magic, kSngqMagic, 4) != 0) {
+    std::fclose(f);
+    return Status::DataLoss("not a PQ codebook (bad magic): " + path);
+  }
+  ProductQuantizer pq;
+  Status s = pq.LoadFrom(f);
+  std::fclose(f);
+  if (!s.ok()) {
+    return Status::DataLoss(s.message() + " (" + path + ")");
+  }
+  return pq;
 }
 
 void ProductQuantizer::ComputeAdcTable(const float* query, Metric metric,

@@ -1,0 +1,118 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// Product quantization (Jégou et al. 2011): the vector is split into `m`
+// sub-vectors, each quantized against its own 256-entry codebook, so a point
+// compresses to m bytes. Queries scan codes with an asymmetric distance
+// computation (ADC) lookup table.
+//
+// This is the shared quantization layer: the IVFPQ baseline
+// (src/baselines/ivfpq.*) encodes residuals with it, and the SONG traversal
+// itself (src/song/song_searcher.*, options.quant == kPq) runs Stage 2 over
+// these codes with an exact-vector rerank of the final pool — the
+// BANG/Faiss-GPU recipe for fitting large datasets on device.
+//
+// Standalone codebooks serialize to `.sngq` files (magic "SNGP"); loads are
+// hardened against truncated and hostile headers and return Status instead
+// of crashing or over-allocating.
+
+#ifndef SONG_QUANT_PQ_H_
+#define SONG_QUANT_PQ_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/distance.h"
+#include "core/types.h"
+
+namespace song {
+
+struct PqOptions {
+  /// Number of subquantizers (= bytes per code).
+  size_t num_subquantizers = 8;
+  /// Codebook size per subquantizer (fixed 256 = 8 bits here).
+  size_t train_iterations = 12;
+  uint64_t seed = 99;
+  size_t num_threads = 0;
+};
+
+class ProductQuantizer {
+ public:
+  static constexpr size_t kCodebookSize = 256;
+
+  ProductQuantizer() = default;
+
+  /// Trains per-subspace codebooks on `train` vectors.
+  void Train(const Dataset& train, const PqOptions& options);
+
+  bool trained() const { return trained_; }
+  size_t dim() const { return dim_; }
+  size_t num_subquantizers() const { return m_; }
+  size_t code_bytes() const { return m_; }
+
+  /// Quantizes `vec` (dim floats) into `code` (m bytes).
+  void Encode(const float* vec, uint8_t* code) const;
+
+  /// Reconstructs an approximation of the encoded vector.
+  void Decode(const uint8_t* code, float* out) const;
+
+  /// Fills `table` (m * 256 floats) with per-subspace partial scores for
+  /// `query`: squared L2 for Metric::kL2, negated partial inner product for
+  /// Metric::kInnerProduct.
+  void ComputeAdcTable(const float* query, Metric metric,
+                       float* table) const;
+
+  /// Sums the table entries selected by `code`.
+  float AdcDistance(const float* table, const uint8_t* code) const {
+    float total = 0.0f;
+    for (size_t s = 0; s < m_; ++s) {
+      total += table[s * kCodebookSize + code[s]];
+    }
+    return total;
+  }
+
+  size_t MemoryBytes() const {
+    return codebooks_.size() * sizeof(float);
+  }
+
+  /// Entries of one ADC lookup table (m * 256 floats).
+  size_t TableEntries() const { return m_ * kCodebookSize; }
+
+  /// Raw (de)serialization into an open stream; used by IvfPqIndex and the
+  /// .sngq container. LoadFrom validates the header and every structural
+  /// invariant (subspace boundaries, centroid offsets, codebook size) before
+  /// allocating, so a hostile stream fails with Status instead of OOM.
+  Status SaveTo(std::FILE* f) const;
+  Status LoadFrom(std::FILE* f);
+
+  /// Standalone `.sngq` codebook files (magic "SNGP" + the SaveTo body).
+  Status Save(const std::string& path) const;
+  static StatusOr<ProductQuantizer> Load(const std::string& path);
+
+  /// Start offset of subspace `s` in the full vector.
+  size_t SubspaceBegin(size_t s) const { return offsets_[s]; }
+  size_t SubspaceDim(size_t s) const { return offsets_[s + 1] - offsets_[s]; }
+
+  /// Centroid `c` of subquantizer `s` (SubspaceDim(s) floats).
+  const float* Centroid(size_t s, size_t c) const {
+    return codebooks_.data() + centroid_offsets_[s] + c * SubspaceDim(s);
+  }
+
+ private:
+  bool trained_ = false;
+  size_t dim_ = 0;
+  size_t m_ = 0;
+  /// Subspace boundaries: m+1 entries, offsets_[0] = 0, offsets_[m] = dim.
+  std::vector<size_t> offsets_;
+  /// Flat storage of all codebooks; centroid_offsets_[s] is the float index
+  /// of subquantizer s's first centroid.
+  std::vector<size_t> centroid_offsets_;
+  std::vector<float> codebooks_;
+};
+
+}  // namespace song
+
+#endif  // SONG_QUANT_PQ_H_

@@ -1,0 +1,41 @@
+#include "quant/pq_distance.h"
+
+#include <utility>
+
+#include "core/logging.h"
+#include "core/simd.h"
+#include "core/thread_pool.h"
+
+namespace song {
+
+PqBatchDistance::PqBatchDistance(ProductQuantizer pq, const Dataset& data,
+                                 size_t num_threads)
+    : pq_(std::move(pq)),
+      kernel_(internal::KernelTableForTier(ActiveSimdTier()).adc_gather) {
+  SONG_CHECK_MSG(pq_.trained(), "PqBatchDistance needs a trained quantizer");
+  SONG_CHECK_MSG(pq_.dim() == data.dim(),
+                 "PQ codebook dim does not match the dataset");
+  num_ = data.num();
+  const size_t m = pq_.code_bytes();
+  codes_.resize(num_ * m);
+  ParallelFor(num_, num_threads, [&](size_t i, size_t) {
+    pq_.Encode(data.Row(static_cast<idx_t>(i)), codes_.data() + i * m);
+  });
+}
+
+void PqBatchDistance::BuildAdcTable(const float* query, Metric metric,
+                                    std::vector<float>* table) const {
+  table->resize(pq_.TableEntries());
+  pq_.ComputeAdcTable(query, metric, table->data());
+}
+
+void PqBatchDistance::PrefetchCode(idx_t v) const {
+  const char* row = reinterpret_cast<const char*>(
+      codes_.data() + static_cast<size_t>(v) * pq_.code_bytes());
+  // Codes are at most a few cache lines; one hint per 64B covers them.
+  for (size_t off = 0; off < pq_.code_bytes(); off += 64) {
+    __builtin_prefetch(row + off, 0, 3);
+  }
+}
+
+}  // namespace song

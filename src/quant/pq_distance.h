@@ -1,0 +1,83 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// PqBatchDistance — the Stage-2 distance provider that lets SongSearchCore
+// traverse over product-quantized codes instead of full float vectors (the
+// BANG / Faiss-GPU on-device layout):
+//   * the dataset is encoded once into a flat num x m byte matrix (this is
+//     what would be resident in GPU global memory),
+//   * each query builds one ADC lookup table (m * 256 floats — shared-memory
+//     resident on the GPU, so Stage 2 reads m bytes + m LUT entries per
+//     candidate instead of 4*dim bytes),
+//   * batch scoring runs through the per-tier adc_gather kernel of the
+//     distance dispatch tables (scalar / AVX2 / AVX-512).
+// The exact-vector rerank of the final pool lives in the searcher; this
+// class only owns codes + table building + batched ADC scoring.
+
+#ifndef SONG_QUANT_PQ_DISTANCE_H_
+#define SONG_QUANT_PQ_DISTANCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/distance_kernels.h"
+#include "core/types.h"
+#include "quant/pq.h"
+
+namespace song {
+
+class PqBatchDistance {
+ public:
+  PqBatchDistance() = default;
+
+  /// Adopts a trained quantizer and encodes every row of `data` (which must
+  /// have pq.dim() columns) into the flat code matrix. Encoding parallelizes
+  /// over `num_threads` (0 = hardware concurrency).
+  PqBatchDistance(ProductQuantizer pq, const Dataset& data,
+                  size_t num_threads = 0);
+
+  bool ready() const { return num_ > 0; }
+  size_t num() const { return num_; }
+  size_t code_bytes() const { return pq_.code_bytes(); }
+  const uint8_t* codes() const { return codes_.data(); }
+  const ProductQuantizer& pq() const { return pq_; }
+
+  /// Fills `table` (resized to m * 256) with the per-subspace partial scores
+  /// for `query` under `metric` (kL2 or kInnerProduct).
+  void BuildAdcTable(const float* query, Metric metric,
+                     std::vector<float>* table) const;
+
+  /// out[i] = sum of the table entries selected by the code of ids[i],
+  /// through the active SIMD tier's adc_gather kernel.
+  void ComputeBatch(const float* table, const idx_t* ids, size_t n,
+                    float* out) const {
+    kernel_(table, codes_.data(), pq_.code_bytes(), ids, n, out);
+  }
+
+  float Compute(const float* table, idx_t id) const {
+    float out;
+    ComputeBatch(table, &id, 1, &out);
+    return out;
+  }
+
+  /// Hints the m-byte code row of `v` into cache (Stage 1 -> Stage 2
+  /// latency hiding, the PQ analog of Dataset::PrefetchRow).
+  void PrefetchCode(idx_t v) const;
+
+  /// Device-resident footprint: the code matrix plus the codebook (the LUT
+  /// is per-query shared memory, not counted here).
+  size_t DeviceMemoryBytes() const {
+    return codes_.size() + pq_.MemoryBytes();
+  }
+
+ private:
+  ProductQuantizer pq_;
+  std::vector<uint8_t> codes_;  ///< num_ * code_bytes(), row-major
+  size_t num_ = 0;
+  internal::AdcGatherKernel kernel_ = nullptr;
+};
+
+}  // namespace song
+
+#endif  // SONG_QUANT_PQ_DISTANCE_H_

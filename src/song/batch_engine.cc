@@ -76,6 +76,24 @@ void RecordBatchMetrics(const BatchResult& batch,
   registry->GetGauge("song.search.peak_visited_size")
       .Set(static_cast<double>(s.peak_visited_size));
 
+  // Quantized-traversal telemetry: emitted only when the batch ran with
+  // quant != kNone, so exact-search deployments see an unchanged metric set.
+  if (options.quant != QuantizationMode::kNone) {
+    registry->GetCounter("song.search.quant.adc_tables")
+        .Increment(s.adc_tables_built);
+    registry->GetCounter("song.search.quant.adc_table_build_ns")
+        .Increment(s.adc_table_build_ns);
+    registry->GetCounter("song.search.quant.rerank_candidates")
+        .Increment(s.rerank_candidates);
+    registry->GetCounter("song.search.quant.rerank_bytes_loaded")
+        .Increment(s.rerank_bytes_loaded);
+    if (batch.num_queries > 0) {
+      registry->GetGauge("song.search.quant.rerank_pool_size")
+          .Set(static_cast<double>(s.rerank_candidates) /
+               static_cast<double>(batch.num_queries));
+    }
+  }
+
   registry->GetCounter("song.trace.sampled").Increment(batch.traces.size());
   registry->GetCounter("song.trace.dropped").Increment(batch.traces_dropped);
   if (!batch.traces.empty()) {

@@ -91,6 +91,9 @@ class IndexSnapshot {
 
   /// Checked variant: validates the query payload and option admission via
   /// SongSearcher::ValidateRequest before touching any per-query structure.
+  /// Snapshots never carry a PQ codebook (online inserts would race the
+  /// pinned encoder), so options.quant == kPq is rejected here with
+  /// FailedPrecondition — quantized traversal is a static-index feature.
   /// When `observer` is non-null, one RequestRecord is emitted per call
   /// (served, degraded, or rejected) with this snapshot's version stamped
   /// in — the caller's observer need not know which MVCC version it hit.

@@ -31,6 +31,11 @@ class SongWorkspace {
   VisitedTable visited;
   std::vector<idx_t> candidates;
   std::vector<float> dists;
+  // Quantized traversal scratch (untouched when options.quant == kNone):
+  // the per-query ADC lookup table and the exact-rerank staging arrays.
+  std::vector<float> adc_table;
+  std::vector<idx_t> rerank_ids;
+  std::vector<float> rerank_dists;
 };
 
 namespace internal {

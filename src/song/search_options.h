@@ -39,6 +39,26 @@ inline const char* GraphReorderName(GraphReorder r) {
   return "unknown";
 }
 
+/// In-graph distance compression for Stage 2 (the BANG/Faiss-GPU recipe:
+/// compressed codes resident on device during traversal, exact-vector rerank
+/// of the final pool). kNone keeps the traversal byte-identical to a build
+/// without quantization; kPq requires the searcher to have a trained/loaded
+/// codebook (SongSearcher::EnablePq) and is rejected otherwise.
+enum class QuantizationMode {
+  kNone = 0,
+  kPq = 1,
+};
+
+inline const char* QuantizationModeName(QuantizationMode q) {
+  switch (q) {
+    case QuantizationMode::kNone:
+      return "none";
+    case QuantizationMode::kPq:
+      return "pq";
+  }
+  return "unknown";
+}
+
 struct SongSearchOptions {
   /// Capacity of the bounded priority queues — the paper's searching
   /// parameter K / "priority queue size", swept to trade QPS for recall.
@@ -100,6 +120,18 @@ struct SongSearchOptions {
   /// and returns best-so-far, tagged degraded.
   uint64_t cost_budget = 0;
 
+  /// Stage-2 distance compression. kPq runs the traversal over m-byte PQ
+  /// codes with a per-query ADC lookup table, then reranks the final pool
+  /// with exact distances. Off by default; quantization-off searches are
+  /// bit-identical to a build without this feature.
+  QuantizationMode quant = QuantizationMode::kNone;
+
+  /// Size of the candidate pool reranked with exact distances when quant ==
+  /// kPq (clamped to [k, ef]). 0 = auto: min(ef, max(4*k, 32)). Larger pools
+  /// recover more of the quantization error at the cost of one full-vector
+  /// fetch per pool entry; ignored when quantization is off.
+  size_t rerank_depth = 0;
+
   /// Presets matching the Fig 7 series names.
   static SongSearchOptions HashTable() { return SongSearchOptions{}; }
   static SongSearchOptions HashTableSel() {
@@ -141,6 +173,7 @@ struct SongSearchOptions {
       if (selected_insertion) name += "-sel";
       if (visited_deletion) name += "-del";
     }
+    if (quant == QuantizationMode::kPq) name += "-pq";
     return name;
   }
 
@@ -162,7 +195,9 @@ struct SongSearchOptions {
                               enable_prefetch ? 1u : 0u,
                               static_cast<uint64_t>(reorder),
                               deadline_us,
-                              cost_budget};
+                              cost_budget,
+                              static_cast<uint64_t>(quant),
+                              static_cast<uint64_t>(rerank_depth)};
     for (const uint64_t v : knobs) {
       for (int i = 0; i < 8; ++i) {
         h ^= (v >> (8 * i)) & 0xffu;
@@ -186,7 +221,14 @@ struct SearchStats {
 
   // Stage 2 — bulk distance computation.
   size_t distance_computations = 0;
-  size_t data_bytes_loaded = 0;    ///< candidate vectors fetched
+  size_t data_bytes_loaded = 0;    ///< candidate payloads fetched (vectors,
+                                   ///< or m-byte codes under quant == kPq)
+
+  // Quantized traversal (options.quant == kPq; all zero otherwise).
+  size_t adc_tables_built = 0;     ///< one per query on the PQ path
+  size_t adc_table_build_ns = 0;   ///< wall time spent building ADC tables
+  size_t rerank_candidates = 0;    ///< final-pool entries rescored exactly
+  size_t rerank_bytes_loaded = 0;  ///< full vectors fetched for the rerank
 
   // Stage 3 — data structure maintenance.
   size_t q_pushes = 0;
@@ -214,6 +256,10 @@ struct SearchStats {
     q_pops += other.q_pops;
     distance_computations += other.distance_computations;
     data_bytes_loaded += other.data_bytes_loaded;
+    adc_tables_built += other.adc_tables_built;
+    adc_table_build_ns += other.adc_table_build_ns;
+    rerank_candidates += other.rerank_candidates;
+    rerank_bytes_loaded += other.rerank_bytes_loaded;
     q_pushes += other.q_pushes;
     q_evictions += other.q_evictions;
     q_rejections += other.q_rejections;

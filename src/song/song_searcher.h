@@ -17,6 +17,7 @@
 #ifndef SONG_SONG_SONG_SEARCHER_H_
 #define SONG_SONG_SONG_SEARCHER_H_
 
+#include <memory>
 #include <vector>
 
 #include "core/dataset.h"
@@ -25,6 +26,8 @@
 #include "core/types.h"
 #include "graph/fixed_degree_graph.h"
 #include "obs/request_timeline.h"
+#include "quant/pq.h"
+#include "quant/pq_distance.h"
 #include "song/search_core.h"
 #include "song/search_options.h"
 
@@ -88,6 +91,27 @@ class SongSearcher {
   /// Pass an empty vector to clear. Size must equal data().num() otherwise.
   void SetResultIdMap(std::vector<idx_t> new_to_old);
 
+  // --- Quantized traversal (options.quant == kPq). -------------------------
+
+  /// Trains a PQ codebook on the index dataset and encodes every row; after
+  /// an OK return, searches with options.quant == kPq traverse Stage 2 over
+  /// the m-byte codes via a per-query ADC table, then rerank the final pool
+  /// with exact distances. Searches with quant == kNone stay bit-identical
+  /// to a searcher that never called this. Supported metrics: kL2 and
+  /// kInnerProduct (kCosine is rejected — ADC tables have no cosine form).
+  Status EnablePq(const PqOptions& pq_options);
+
+  /// Adopts a pre-trained codebook (e.g. ProductQuantizer::Load of a .sngq
+  /// file) and encodes the dataset with it. The codebook dim must match.
+  Status EnablePq(ProductQuantizer pq);
+
+  bool pq_enabled() const { return pq_dist_ != nullptr; }
+  const PqBatchDistance* pq_distance() const { return pq_dist_.get(); }
+
+  /// The exact-rerank pool size a (k, options) search rescores: clamp of
+  /// options.rerank_depth (auto when 0) to [k, effective queue size].
+  static size_t RerankPoolSize(size_t k, const SongSearchOptions& options);
+
   const Dataset& data() const { return *data_; }
   const FixedDegreeGraph& graph() const { return *graph_; }
   Metric metric() const { return metric_; }
@@ -95,12 +119,21 @@ class SongSearcher {
   const std::vector<idx_t>& result_id_map() const { return result_id_map_; }
 
  private:
+  /// The PQ traversal: ADC-scored SongSearchCore over the rerank pool,
+  /// followed by the exact-distance rescoring of that pool.
+  std::vector<Neighbor> SearchPq(const float* query, size_t k,
+                                 const SongSearchOptions& options,
+                                 SongWorkspace* workspace, SearchStats* stats,
+                                 obs::SearchTrace* trace,
+                                 bool* degraded) const;
+
   const Dataset* data_;
   const FixedDegreeGraph* graph_;
   Metric metric_;
   idx_t entry_;
   BatchDistance batch_dist_;         ///< fused Stage 2 kernel + cached norms
   std::vector<idx_t> result_id_map_; ///< new -> old, empty = identity
+  std::unique_ptr<PqBatchDistance> pq_dist_;  ///< null until EnablePq
 };
 
 }  // namespace song

@@ -9,7 +9,7 @@
 #include "baselines/hnsw.h"
 #include "baselines/ivfpq.h"
 #include "baselines/kmeans.h"
-#include "baselines/pq.h"
+#include "quant/pq.h"
 #include "core/random.h"
 #include "core/recall.h"
 #include "data/synthetic.h"

@@ -1,0 +1,348 @@
+// Shared quantization module tests: .sngq codebook round-trip and hardened
+// load (truncation / bit-flip / extension / hostile-header corpus must come
+// back as Status, never a crash or OOM), the ADC gather kernels against a
+// double-precision oracle across every compiled SIMD tier, and the
+// PqBatchDistance batch == single bit-identity contract.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/distance_kernels.h"
+#include "core/simd.h"
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+#include "quant/pq.h"
+#include "quant/pq_distance.h"
+
+namespace song {
+namespace {
+
+std::vector<uint8_t> ReadAll(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::vector<uint8_t> bytes;
+  uint8_t buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+void WriteAll(const std::string& path, const std::vector<uint8_t>& bytes) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  if (!bytes.empty()) {
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  }
+  std::fclose(f);
+}
+
+/// Same mutation families as the loader-hardening fuzz in
+/// tests/harness/corrupt_file_fuzz_test.cc: truncation, bit flips, garbage
+/// extension, or a header stomp with an extreme count (the hostile
+/// allocation case the bounded reader must refuse).
+std::vector<uint8_t> Mutate(const std::vector<uint8_t>& pristine,
+                            std::mt19937_64& rng) {
+  std::vector<uint8_t> bytes = pristine;
+  switch (rng() % 4) {
+    case 0: {
+      bytes.resize(rng() % (bytes.size() + 1));
+      break;
+    }
+    case 1: {
+      const size_t flips = 1 + rng() % 16;
+      for (size_t i = 0; i < flips && !bytes.empty(); ++i) {
+        bytes[rng() % bytes.size()] ^= uint8_t{1} << (rng() % 8);
+      }
+      break;
+    }
+    case 2: {
+      const size_t extra = 1 + rng() % 256;
+      for (size_t i = 0; i < extra; ++i) {
+        bytes.push_back(static_cast<uint8_t>(rng()));
+      }
+      break;
+    }
+    default: {
+      const uint64_t extremes[] = {0, ~0ull, uint64_t{1} << 62,
+                                   uint64_t{1} << 41, 0x4141414141414141ull};
+      const uint64_t v = extremes[rng() % 5];
+      const size_t header = std::min<size_t>(bytes.size(), 24);
+      if (header >= sizeof(v)) {
+        const size_t off = rng() % (header - sizeof(v) + 1);
+        std::memcpy(bytes.data() + off, &v, sizeof(v));
+      }
+      break;
+    }
+  }
+  return bytes;
+}
+
+struct QuantFixture {
+  Dataset data;
+  Dataset queries;
+  ProductQuantizer pq;
+  std::string codebook_path;
+  std::vector<uint8_t> codebook_bytes;
+
+  static const QuantFixture& Get() {
+    static QuantFixture* f = [] {
+      auto* fx = new QuantFixture();
+      SyntheticSpec spec;
+      spec.dim = 48;
+      spec.num_points = 1200;
+      spec.num_queries = 8;
+      spec.num_clusters = 20;
+      spec.cluster_std = 0.6;
+      spec.seed = 7301;
+      SyntheticData gen = GenerateSynthetic(spec);
+      fx->data = std::move(gen.points);
+      fx->queries = std::move(gen.queries);
+      PqOptions popts;
+      popts.num_subquantizers = 8;
+      popts.train_iterations = 6;
+      fx->pq.Train(fx->data, popts);
+      fx->codebook_path = ::testing::TempDir() + "/quant_fixture.sngq";
+      EXPECT_TRUE(fx->pq.Save(fx->codebook_path).ok());
+      fx->codebook_bytes = ReadAll(fx->codebook_path);
+      return fx;
+    }();
+    return *f;
+  }
+};
+
+// --- Encode / decode / ADC semantics. --------------------------------------
+
+TEST(QuantPq, EncodeDecodeReducesToNearbyVector) {
+  const QuantFixture& fx = QuantFixture::Get();
+  std::vector<uint8_t> code(fx.pq.code_bytes());
+  std::vector<float> decoded(fx.pq.dim());
+  double reconstruction = 0.0, magnitude = 0.0;
+  for (size_t i = 0; i < fx.data.num(); ++i) {
+    const float* row = fx.data.Row(static_cast<idx_t>(i));
+    fx.pq.Encode(row, code.data());
+    fx.pq.Decode(code.data(), decoded.data());
+    for (size_t d = 0; d < fx.pq.dim(); ++d) {
+      const double err = row[d] - decoded[d];
+      reconstruction += err * err;
+      magnitude += static_cast<double>(row[d]) * row[d];
+    }
+  }
+  // Clustered data quantizes well: the reconstruction error must be a small
+  // fraction of the signal energy, not just finite.
+  EXPECT_LT(reconstruction, 0.2 * magnitude);
+}
+
+TEST(QuantPq, AdcDistanceMatchesDecodedDistance) {
+  const QuantFixture& fx = QuantFixture::Get();
+  ASSERT_EQ(fx.pq.TableEntries(),
+            fx.pq.code_bytes() * ProductQuantizer::kCodebookSize);
+  std::vector<float> table(fx.pq.TableEntries());
+  std::vector<uint8_t> code(fx.pq.code_bytes());
+  std::vector<float> decoded(fx.pq.dim());
+  for (size_t q = 0; q < fx.queries.num(); ++q) {
+    const float* query = fx.queries.Row(static_cast<idx_t>(q));
+    fx.pq.ComputeAdcTable(query, Metric::kL2, table.data());
+    for (size_t i = 0; i < 64; ++i) {
+      const float* row = fx.data.Row(static_cast<idx_t>(i));
+      fx.pq.Encode(row, code.data());
+      fx.pq.Decode(code.data(), decoded.data());
+      double exact = 0.0;
+      for (size_t d = 0; d < fx.pq.dim(); ++d) {
+        const double diff = query[d] - decoded[d];
+        exact += diff * diff;
+      }
+      const float adc = fx.pq.AdcDistance(table.data(), code.data());
+      EXPECT_NEAR(adc, exact, 1e-2 * std::max(1.0, exact))
+          << "query " << q << " row " << i;
+    }
+  }
+}
+
+// --- .sngq round-trip and hardened load. -----------------------------------
+
+TEST(QuantPqIo, SaveLoadRoundTripIsExact) {
+  const QuantFixture& fx = QuantFixture::Get();
+  StatusOr<ProductQuantizer> loaded =
+      ProductQuantizer::Load(fx.codebook_path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const ProductQuantizer& pq2 = loaded.value();
+  EXPECT_EQ(pq2.dim(), fx.pq.dim());
+  EXPECT_EQ(pq2.code_bytes(), fx.pq.code_bytes());
+  // The reloaded codebook must encode every row to the identical code and
+  // produce bit-identical ADC tables — the serving searcher treats a loaded
+  // codebook as equivalent to the trained one.
+  std::vector<uint8_t> a(fx.pq.code_bytes()), b(fx.pq.code_bytes());
+  for (size_t i = 0; i < fx.data.num(); i += 7) {
+    const float* row = fx.data.Row(static_cast<idx_t>(i));
+    fx.pq.Encode(row, a.data());
+    pq2.Encode(row, b.data());
+    ASSERT_EQ(std::memcmp(a.data(), b.data(), a.size()), 0) << "row " << i;
+  }
+  std::vector<float> ta(fx.pq.TableEntries()), tb(fx.pq.TableEntries());
+  fx.pq.ComputeAdcTable(fx.queries.Row(0), Metric::kL2, ta.data());
+  pq2.ComputeAdcTable(fx.queries.Row(0), Metric::kL2, tb.data());
+  EXPECT_EQ(std::memcmp(ta.data(), tb.data(), ta.size() * sizeof(float)), 0);
+}
+
+TEST(QuantPqIo, SaveUntrainedIsFailedPrecondition) {
+  ProductQuantizer empty;
+  const Status s = empty.Save(::testing::TempDir() + "/untrained.sngq");
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(QuantPqIo, LoadMissingFileIsIoError) {
+  const StatusOr<ProductQuantizer> r =
+      ProductQuantizer::Load("/nonexistent/dir/x.sngq");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(QuantPqIo, LoadWrongMagicIsDataLoss) {
+  const QuantFixture& fx = QuantFixture::Get();
+  std::vector<uint8_t> bytes = fx.codebook_bytes;
+  ASSERT_GE(bytes.size(), 4u);
+  bytes[0] = 'X';
+  const std::string path = ::testing::TempDir() + "/badmagic.sngq";
+  WriteAll(path, bytes);
+  const StatusOr<ProductQuantizer> r = ProductQuantizer::Load(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+  std::remove(path.c_str());
+}
+
+TEST(QuantPqIo, CorruptCodebookCorpusNeverCrashes) {
+  const QuantFixture& fx = QuantFixture::Get();
+  std::mt19937_64 rng(0x5116);
+  const std::string path = fx.codebook_path + ".mut";
+  for (size_t round = 0; round < 150; ++round) {
+    WriteAll(path, Mutate(fx.codebook_bytes, rng));
+    StatusOr<ProductQuantizer> loaded = ProductQuantizer::Load(path);
+    if (loaded.ok()) {
+      // A load that survives mutation must still be structurally sound
+      // enough to encode (the search path trusts these invariants).
+      EXPECT_TRUE(loaded->trained()) << "round " << round;
+      EXPECT_GT(loaded->dim(), 0u) << "round " << round;
+      std::vector<float> vec(loaded->dim(), 0.5f);
+      std::vector<uint8_t> code(loaded->code_bytes());
+      loaded->Encode(vec.data(), code.data());
+    } else {
+      EXPECT_FALSE(loaded.status().message().empty()) << "round " << round;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// --- ADC gather kernels: double oracle + cross-tier + batch identity. ------
+
+TEST(QuantAdcKernels, AllTiersMatchDoubleOracle) {
+  const size_t kM[] = {1, 3, 8, 16, 32, 63};
+  std::mt19937_64 rng(0xADC0);
+  std::normal_distribution<float> nd;
+  for (const size_t m : kM) {
+    const size_t n = 257;  // odd size exercises every unrolled tail
+    std::vector<float> table(m * ProductQuantizer::kCodebookSize);
+    for (float& x : table) x = nd(rng);
+    std::vector<uint8_t> codes(n * m);
+    for (uint8_t& c : codes) c = static_cast<uint8_t>(rng() % 256);
+    std::vector<idx_t> ids(n);
+    for (size_t i = 0; i < n; ++i) ids[i] = static_cast<idx_t>(i);
+    std::shuffle(ids.begin(), ids.end(), rng);
+
+    // Double-precision oracle.
+    std::vector<double> oracle(n);
+    for (size_t i = 0; i < n; ++i) {
+      const uint8_t* code = codes.data() + size_t{ids[i]} * m;
+      double sum = 0.0;
+      for (size_t s = 0; s < m; ++s) {
+        sum += table[s * ProductQuantizer::kCodebookSize + code[s]];
+      }
+      oracle[i] = sum;
+    }
+
+    for (const SimdTier tier :
+         {SimdTier::kScalar, SimdTier::kAvx2, SimdTier::kAvx512}) {
+      if (!SimdTierCompiled(tier) || tier > CpuSimdTier()) continue;
+      const internal::AdcGatherKernel kernel =
+          internal::KernelTableForTier(tier).adc_gather;
+      ASSERT_NE(kernel, nullptr) << SimdTierName(tier);
+      std::vector<float> out(n, -1.0f);
+      kernel(table.data(), codes.data(), m, ids.data(), n, out.data());
+      for (size_t i = 0; i < n; ++i) {
+        // Few-ulp agreement with the double oracle: the summation orders
+        // differ per tier but m <= 64 terms cannot drift further than this.
+        const double tol =
+            1e-5 * std::max(1.0, std::abs(oracle[i])) + 1e-5;
+        EXPECT_NEAR(out[i], oracle[i], tol)
+            << SimdTierName(tier) << " m=" << m << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(QuantAdcKernels, BatchMatchesSingleBitIdentically) {
+  std::mt19937_64 rng(0xADC1);
+  std::normal_distribution<float> nd;
+  for (const size_t m : {8u, 16u, 32u}) {
+    const size_t n = 100;
+    std::vector<float> table(m * ProductQuantizer::kCodebookSize);
+    for (float& x : table) x = nd(rng);
+    std::vector<uint8_t> codes(n * m);
+    for (uint8_t& c : codes) c = static_cast<uint8_t>(rng() % 256);
+    std::vector<idx_t> ids(n);
+    for (size_t i = 0; i < n; ++i) ids[i] = static_cast<idx_t>(i);
+
+    for (const SimdTier tier :
+         {SimdTier::kScalar, SimdTier::kAvx2, SimdTier::kAvx512}) {
+      if (!SimdTierCompiled(tier) || tier > CpuSimdTier()) continue;
+      const internal::AdcGatherKernel kernel =
+          internal::KernelTableForTier(tier).adc_gather;
+      std::vector<float> batch(n), single(n);
+      kernel(table.data(), codes.data(), m, ids.data(), n, batch.data());
+      for (size_t i = 0; i < n; ++i) {
+        kernel(table.data(), codes.data(), m, &ids[i], 1, &single[i]);
+      }
+      // Within one tier the summation order is fixed, so batch and
+      // single-id calls must agree bit-for-bit — the traversal relies on
+      // this when it mixes operator() and ComputeBatch.
+      EXPECT_EQ(std::memcmp(batch.data(), single.data(),
+                            n * sizeof(float)),
+                0)
+          << SimdTierName(tier) << " m=" << m;
+    }
+  }
+}
+
+TEST(QuantPqBatchDistance, ComputeBatchMatchesComputeAndCountsMemory) {
+  const QuantFixture& fx = QuantFixture::Get();
+  PqBatchDistance pqd(fx.pq, fx.data, /*num_threads=*/1);
+  ASSERT_TRUE(pqd.ready());
+  EXPECT_EQ(pqd.num(), fx.data.num());
+  EXPECT_EQ(pqd.code_bytes(), fx.pq.code_bytes());
+  EXPECT_EQ(pqd.DeviceMemoryBytes(),
+            fx.data.num() * fx.pq.code_bytes() + fx.pq.MemoryBytes());
+
+  std::vector<float> table;
+  pqd.BuildAdcTable(fx.queries.Row(0), Metric::kL2, &table);
+  ASSERT_EQ(table.size(), fx.pq.TableEntries());
+  std::vector<idx_t> ids;
+  for (size_t i = 0; i < fx.data.num(); i += 3) {
+    ids.push_back(static_cast<idx_t>(i));
+  }
+  std::vector<float> batch(ids.size());
+  pqd.ComputeBatch(table.data(), ids.data(), ids.size(), batch.data());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(batch[i], pqd.Compute(table.data(), ids[i])) << "i=" << i;
+  }
+}
+
+}  // namespace
+}  // namespace song

@@ -254,5 +254,34 @@ TEST(SnapshotIsolation, SearchCapsKAtLivePointsAndFiltersTombstones) {
   }
 }
 
+TEST(SnapshotIsolation, QuantizedSearchIsRejectedWithFailedPrecondition) {
+  // Snapshots never carry a PQ codebook (online inserts would race the
+  // pinned encoder), so quantized traversal must be refused up front with a
+  // clear Status — and the same snapshot must keep serving exact search.
+  constexpr size_t kDim = 16;
+  MutableIndex index(Metric::kL2, kDim);
+  RandomEngine rng(31);
+  for (size_t i = 0; i < 48; ++i) {
+    ASSERT_TRUE(index.Insert(RandomPoint(rng, kDim).data()).ok());
+  }
+  const std::shared_ptr<const IndexSnapshot> snapshot = index.Acquire();
+
+  SongWorkspace ws;
+  SongSearchOptions options;
+  options.queue_size = 32;
+  options.quant = QuantizationMode::kPq;
+  const std::vector<float> q = RandomPoint(rng, kDim);
+  const auto rejected = snapshot->TrySearch(q.data(), 5, options, &ws);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kFailedPrecondition);
+  // The message should steer the caller toward the static-index path.
+  EXPECT_NE(rejected.status().message().find("PQ"), std::string::npos);
+
+  options.quant = QuantizationMode::kNone;
+  const auto served = snapshot->TrySearch(q.data(), 5, options, &ws);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  EXPECT_EQ(served.value().size(), 5u);
+}
+
 }  // namespace
 }  // namespace song

@@ -34,7 +34,8 @@ import os
 import statistics
 import sys
 
-METRIC_KEYS = ("ns_per_pair", "ns_per_op", "ns_per_query", "seconds")
+METRIC_KEYS = ("ns_per_pair", "ns_per_code", "ns_per_op", "ns_per_query",
+               "seconds")
 # Derived ratios recomputed from the primary metric; never gated directly.
 IGNORED_KEYS = ("speedup_vs_scalar",)
 

@@ -137,6 +137,59 @@ expect_fail 1 "transfer.htod" -- search --data "$DIR/data.sngd" \
       --queries "$DIR/q.sngd" --k 10 --fault-spec "transfer.htod=0" \
       | grep -q "faults injected: 0"
 
+# --- Quantized traversal smoke cases (docs/performance.md) -----------------
+
+# Train + save a codebook, search with ADC + rerank: recall must stay close
+# to exact on this easy preset, and the song.search.quant.* metrics must be
+# emitted alongside a telemetry-valid metrics file.
+OUT=$("$CLI" search --data "$DIR/data.sngd" --graph "$DIR/graph.sngg" \
+      --queries "$DIR/q.sngd" --k 10 --queue 96 --gt "$DIR/gt.sngd" \
+      --pq m=16,rerank=96,save="$DIR/code.sngq" \
+      --metrics-json "$DIR/pq_metrics.json")
+echo "$OUT"
+echo "$OUT" | grep -q "pq: m=16"
+echo "$OUT" | grep -q "wrote PQ codebook to "
+RECALL=$(echo "$OUT" | sed -n 's/recall@10: //p')
+python3 - "$RECALL" <<'PY'
+import sys
+assert float(sys.argv[1]) >= 0.8, f"pq recall too low: {sys.argv[1]}"
+PY
+python3 -m json.tool "$DIR/pq_metrics.json" > /dev/null
+python3 "$TOOLS_DIR/validate_telemetry.py" --metrics-json "$DIR/pq_metrics.json"
+python3 - "$DIR/pq_metrics.json" <<'PY'
+import json, sys
+m = json.load(open(sys.argv[1]))
+def find(name):
+    for section in m.values():
+        if isinstance(section, dict) and name in section: return section[name]
+    raise AssertionError(f"{name} missing from metrics JSON")
+assert find("song.search.quant.adc_tables") > 0
+assert find("song.search.quant.rerank_candidates") > 0
+assert find("song.search.quant.rerank_bytes_loaded") > 0
+PY
+
+# Reload the saved codebook: same m, and the auto rerank pool (rerank
+# omitted) must serve without retraining.
+OUT=$("$CLI" search --data "$DIR/data.sngd" --graph "$DIR/graph.sngg" \
+      --queries "$DIR/q.sngd" --k 10 --queue 96 --gt "$DIR/gt.sngd" \
+      --pq load="$DIR/code.sngq")
+echo "$OUT" | grep -q "pq: m=16"
+
+# Corrupt (truncated) codebook: DataLoss diagnostic + exit 1, never a crash.
+head -c 20 "$DIR/code.sngq" > "$DIR/trunc.sngq"
+expect_fail 1 "DataLoss" -- search --data "$DIR/data.sngd" \
+      --graph "$DIR/graph.sngg" --queries "$DIR/q.sngd" \
+      --pq load="$DIR/trunc.sngq"
+
+# Malformed --pq specs and illegal combinations: usage errors, exit 2.
+expect_fail 2 "requires m=" -- search --data "$DIR/data.sngd" \
+      --graph "$DIR/graph.sngg" --queries "$DIR/q.sngd" --pq rerank=50
+expect_fail 2 "malformed --pq" -- search --data "$DIR/data.sngd" \
+      --graph "$DIR/graph.sngg" --queries "$DIR/q.sngd" --pq m=banana
+expect_fail 2 "incompatible with --pq" -- search --data "$DIR/data.sngd" \
+      --graph "$DIR/graph.sngg" --queries "$DIR/q.sngd" \
+      --mutate-spec rounds=1,inserts=5 --pq m=8
+
 # --- Request-lifecycle observability (docs/observability.md) ---------------
 
 # Statusz + flight recorder on a concurrent mutate-serve run: both dumps

@@ -18,8 +18,15 @@
 //                     [--max-inflight N]
 //                     [--fault-spec spec] [--fault-seed N]
 //                     [--mutate-spec rounds=R,inserts=I,deletes=D[,seed=S]]
+//                     [--pq m=<M>[,rerank=<R>][,save=<path>][,load=<path>]]
 //                     [--statusz out.json] [--flight-recorder out.json]
 //   song_cli version  (build info: SIMD tiers detected/compiled/active)
+//
+// Quantized traversal (docs/performance.md): --pq trains (or load=s) a
+// product-quantizer codebook, runs Stage 2 over m-byte codes via a per-query
+// ADC table, and reranks the final pool with exact distances (rerank= sets
+// the pool size, 0 = auto). save= writes the trained codebook as a .sngq
+// file for later load=. Incompatible with --mutate-spec.
 //
 // Online mutation (docs/testing.md): --mutate-spec adopts the loaded
 // data/graph into a MutableIndex, applies R rounds of I inserts (noisy
@@ -354,6 +361,56 @@ MutateSpec ParseMutateSpec(const std::string& spec) {
   return out;
 }
 
+struct PqSpec {
+  uint64_t m = 0;       ///< subquantizers; 0 with load= means "from codebook"
+  uint64_t rerank = 0;  ///< rerank_depth (0 = auto)
+  std::string save;     ///< write the trained codebook here (.sngq)
+  std::string load;     ///< adopt a pre-trained codebook instead of training
+};
+
+/// Parses "m=<M>[,rerank=<R>][,save=<path>][,load=<path>]"; exits 2 on
+/// malformed input, matching ParseMutateSpec's strictness.
+PqSpec ParsePqSpec(const std::string& spec) {
+  PqSpec out;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string part = spec.substr(pos, comma - pos);
+    const size_t eq = part.find('=');
+    const std::string key =
+        eq == std::string::npos ? part : part.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : part.substr(eq + 1);
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    const bool bad_uint = value.empty() || end != value.c_str() + value.size() ||
+                          errno == ERANGE;
+    if (key == "m" && !bad_uint) {
+      out.m = v;
+    } else if (key == "rerank" && !bad_uint) {
+      out.rerank = v;
+    } else if (key == "save" && !value.empty()) {
+      out.save = value;
+    } else if (key == "load" && !value.empty()) {
+      out.load = value;
+    } else {
+      std::fprintf(stderr,
+                   "malformed --pq component \"%s\" (expected "
+                   "m=<M>[,rerank=<R>][,save=<path>][,load=<path>])\n",
+                   part.c_str());
+      std::exit(2);
+    }
+    pos = comma + 1;
+  }
+  if (out.m == 0 && out.load.empty()) {
+    std::fprintf(stderr, "--pq requires m=<M> >= 1 (or load=<path>)\n");
+    std::exit(2);
+  }
+  return out;
+}
+
 /// Writes the --statusz one-shot dump; returns 0/1 like the other writers.
 /// Called on both the success and the failure path, so a crashed-run dump
 /// still carries the error Status plus everything recorded up to it.
@@ -606,7 +663,7 @@ int CmdSearch(const Flags& flags) {
               "reorder", "gt", "gpu", "metrics", "metrics-json", "trace",
               "trace-sample", "deadline-us", "cost-budget", "max-inflight",
               "fault-spec", "fault-seed", "mutate-spec", "statusz",
-              "flight-recorder"});
+              "flight-recorder", "pq"});
 
   const std::string fault_spec = Optional(flags, "fault-spec", "");
   if (!fault_spec.empty()) {
@@ -644,6 +701,12 @@ int CmdSearch(const Flags& flags) {
 
   const std::string mutate_spec = Optional(flags, "mutate-spec", "");
   if (!mutate_spec.empty()) {
+    if (flags.count("pq") != 0) {
+      std::fprintf(stderr,
+                   "--mutate-spec is incompatible with --pq (snapshots of a "
+                   "mutable index serve exact search only)\n");
+      return 2;
+    }
     if (options.reorder != GraphReorder::kNone) {
       std::fprintf(stderr,
                    "--mutate-spec is incompatible with --reorder (the "
@@ -679,6 +742,51 @@ int CmdSearch(const Flags& flags) {
   SongSearcher searcher(&data, &graph, metric, entry);
   searcher.SetResultIdMap(std::move(result_id_map));
   std::printf("simd tier: %s\n", SimdTierName(ActiveSimdTier()));
+
+  const std::string pq_flag = Optional(flags, "pq", "");
+  if (!pq_flag.empty()) {
+    const PqSpec pq_spec = ParsePqSpec(pq_flag);
+    Status enabled;
+    if (!pq_spec.load.empty()) {
+      StatusOr<ProductQuantizer> loaded = ProductQuantizer::Load(pq_spec.load);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "pq codebook load failed: %s\n",
+                     loaded.status().ToString().c_str());
+        return loaded.status().ExitCode();
+      }
+      enabled = searcher.EnablePq(std::move(loaded).value());
+    } else {
+      PqOptions popts;
+      popts.num_subquantizers = static_cast<size_t>(pq_spec.m);
+      Timer train_timer;
+      enabled = searcher.EnablePq(popts);
+      if (enabled.ok()) {
+        std::printf("pq: trained codebook in %.2fs\n",
+                    train_timer.ElapsedSeconds());
+      }
+    }
+    if (!enabled.ok()) {
+      std::fprintf(stderr, "pq enable failed: %s\n",
+                   enabled.ToString().c_str());
+      return enabled.ExitCode();
+    }
+    const ProductQuantizer& trained = searcher.pq_distance()->pq();
+    if (!pq_spec.save.empty()) {
+      const Status saved = trained.Save(pq_spec.save);
+      if (!saved.ok()) {
+        std::fprintf(stderr, "pq codebook save failed: %s\n",
+                     saved.ToString().c_str());
+        return saved.ExitCode();
+      }
+      std::printf("wrote PQ codebook to %s\n", pq_spec.save.c_str());
+    }
+    options.quant = QuantizationMode::kPq;
+    options.rerank_depth = static_cast<size_t>(pq_spec.rerank);
+    std::printf("pq: m=%zu (%zu B/code vs %zu B/vector), rerank pool %zu\n",
+                trained.code_bytes(), trained.code_bytes(),
+                data.dim() * sizeof(float),
+                SongSearcher::RerankPoolSize(k, options));
+  }
   const GpuSpec gpu = ParseGpu(Optional(flags, "gpu", "v100"));
 
   const std::string metrics_path = Optional(flags, "metrics", "");
