@@ -6,10 +6,10 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <queue>
 
 #include "core/random.h"
+#include "core/sync.h"
 #include "core/thread_pool.h"
 
 namespace song {
@@ -57,14 +57,14 @@ Hnsw::Hnsw(const Dataset* data, Metric metric, const HnswBuildOptions& options)
   entry_ = 0;
   max_level_ = 0;
 
-  std::unique_ptr<std::mutex[]> locks(std::make_unique<std::mutex[]>(n));
-  std::mutex global_lock;  // guards entry_ / max_level_ promotion
+  std::unique_ptr<Mutex[]> locks(std::make_unique<Mutex[]>(n));
+  Mutex global_lock;  // guards entry_ / max_level_ promotion
   std::vector<std::atomic<bool>> inserted(n);
   inserted[0].store(true, std::memory_order_release);
 
   const size_t dim = data_->dim();
   auto snapshot_row = [&](idx_t v, size_t level, std::vector<idx_t>* out) {
-    std::lock_guard<std::mutex> guard(locks[v]);
+    MutexLock guard(locks[v]);
     const idx_t* row = Row(v, level);
     const size_t cap = RowCapacity(level);
     out->clear();
@@ -121,7 +121,7 @@ Hnsw::Hnsw(const Dataset* data, Metric metric, const HnswBuildOptions& options)
     idx_t ep;
     size_t top_level;
     {
-      std::lock_guard<std::mutex> guard(global_lock);
+      MutexLock guard(global_lock);
       ep = entry_;
       top_level = max_level_;
     }
@@ -151,12 +151,12 @@ Hnsw::Hnsw(const Dataset* data, Metric metric, const HnswBuildOptions& options)
           build_search(point, eps, options.ef_construction, l, &visited);
       std::vector<idx_t> selected = SelectNeighborsHeuristic(v, pool, m_);
       {
-        std::lock_guard<std::mutex> guard(locks[v]);
+        MutexLock guard(locks[v]);
         WriteRow(MutableRow(v, l), RowCapacity(l), selected);
       }
       // Reverse edges with occlusion-based shrink on overflow.
       for (const idx_t u : selected) {
-        std::lock_guard<std::mutex> guard(locks[u]);
+        MutexLock guard(locks[u]);
         idx_t* row = MutableRow(u, l);
         const size_t cap = RowCapacity(l);
         const size_t count = RowCount(row, cap);
@@ -183,7 +183,7 @@ Hnsw::Hnsw(const Dataset* data, Metric metric, const HnswBuildOptions& options)
 
     inserted[v].store(true, std::memory_order_release);
     if (level > 0) {
-      std::lock_guard<std::mutex> guard(global_lock);
+      MutexLock guard(global_lock);
       if (level > max_level_) {
         max_level_ = level;
         entry_ = v;

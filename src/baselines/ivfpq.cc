@@ -4,10 +4,10 @@
 #include <cstdio>
 #include <cstring>
 #include <limits>
-#include <mutex>
 #include <queue>
 
 #include "baselines/kmeans.h"
+#include "core/sync.h"
 #include "core/thread_pool.h"
 
 namespace song {
@@ -153,13 +153,13 @@ std::vector<std::vector<Neighbor>> IvfPqIndex::BatchSearch(
     const Dataset& queries, size_t k, size_t nprobe, size_t num_threads,
     IvfPqSearchStats* stats) const {
   std::vector<std::vector<Neighbor>> results(queries.num());
-  std::mutex stats_mu;
+  Mutex stats_mu;
   ParallelFor(queries.num(), num_threads, [&](size_t q, size_t) {
     IvfPqSearchStats local;
     results[q] = Search(queries.Row(static_cast<idx_t>(q)), k, nprobe,
                         stats != nullptr ? &local : nullptr);
     if (stats != nullptr) {
-      std::lock_guard<std::mutex> guard(stats_mu);
+      MutexLock guard(stats_mu);
       stats->Add(local);
     }
   });

@@ -69,6 +69,16 @@ Status ParseRule(std::string_view entry, FaultRule* rule) {
 
 }  // namespace
 
+std::string FaultRegistry::spec() const {
+  MutexLock lock(mu_);
+  return spec_;
+}
+
+uint64_t FaultRegistry::seed() const {
+  MutexLock lock(mu_);
+  return seed_;
+}
+
 bool PatternMatches(std::string_view pattern, std::string_view site) {
   const size_t star = pattern.find('*');
   if (star == std::string_view::npos) return pattern == site;
@@ -92,7 +102,7 @@ Status FaultRegistry::Configure(std::string_view spec, uint64_t seed) {
     SONG_RETURN_IF_ERROR(ParseRule(entry, &rule));
     rules.push_back(std::move(rule));
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   rules_ = std::move(rules);
   spec_ = std::string(spec);
   seed_ = seed;
@@ -103,7 +113,7 @@ Status FaultRegistry::Configure(std::string_view spec, uint64_t seed) {
 }
 
 void FaultRegistry::Disable() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   enabled_.store(false, std::memory_order_relaxed);
   rules_.clear();
   spec_.clear();
@@ -113,7 +123,7 @@ void FaultRegistry::Disable() {
 
 bool FaultRegistry::ShouldFail(std::string_view site) {
   if (!enabled()) return false;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const FaultRule* match = nullptr;
   for (const FaultRule& rule : rules_) {
     if (PatternMatches(rule.pattern, site)) {
@@ -143,13 +153,13 @@ bool FaultRegistry::ShouldFail(std::string_view site) {
 
 void FaultRegistry::SetInjectionListener(
     std::function<void(std::string_view)> listener) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   listener_ = std::move(listener);
 }
 
 std::vector<std::pair<std::string, uint64_t>> FaultRegistry::InjectedCounts()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::pair<std::string, uint64_t>> out;
   out.reserve(sites_.size());
   for (const auto& [site, state] : sites_) {
@@ -196,7 +206,7 @@ ScopedFaultSpec::~ScopedFaultSpec() {
   FaultRegistry& reg = FaultRegistry::Global();
   if (was_enabled_) {
     // Restore errors are impossible: the previous spec parsed once already.
-    (void)reg.Configure(prev_spec_, prev_seed_);
+    SONG_IGNORE_ERROR(reg.Configure(prev_spec_, prev_seed_));
   } else {
     reg.Disable();
   }

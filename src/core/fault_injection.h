@@ -32,13 +32,13 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "core/status.h"
+#include "core/sync.h"
 
 namespace song::fault {
 
@@ -56,18 +56,22 @@ class FaultRegistry {
 
   /// Installs the given spec (see header comment for syntax) and arms the
   /// registry. An empty spec disables it. Resets all counters.
-  Status Configure(std::string_view spec, uint64_t seed);
+  Status Configure(std::string_view spec, uint64_t seed) SONG_EXCLUDES(mu_);
 
   /// Disarms the registry and clears rules/counters.
-  void Disable();
+  void Disable() SONG_EXCLUDES(mu_);
 
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
-  const std::string& spec() const { return spec_; }
-  uint64_t seed() const { return seed_; }
+  /// Copies of the armed spec/seed, taken under the registry mutex. By
+  /// value on purpose: a reference would let callers read the strings while
+  /// a concurrent Configure() rewrites them (a data race SONG_GUARDED_BY
+  /// flagged on the previous by-reference accessors).
+  std::string spec() const SONG_EXCLUDES(mu_);
+  uint64_t seed() const SONG_EXCLUDES(mu_);
 
   /// True if the fault at `site` should fire this time. Deterministic in
   /// (seed, site, per-site attempt index). Thread-safe.
-  bool ShouldFail(std::string_view site);
+  bool ShouldFail(std::string_view site) SONG_EXCLUDES(mu_);
 
   /// Total injected failures since the last Configure().
   uint64_t injected_total() const {
@@ -75,14 +79,16 @@ class FaultRegistry {
   }
 
   /// Per-site (site, injected count) pairs, sorted by site name.
-  std::vector<std::pair<std::string, uint64_t>> InjectedCounts() const;
+  std::vector<std::pair<std::string, uint64_t>> InjectedCounts() const
+      SONG_EXCLUDES(mu_);
 
   /// Installs a callback invoked each time a site fires (after the failure
   /// is counted). Serving layers use it to trigger a flight-recorder dump
   /// the moment a fault lands. Called under the registry mutex, so the
   /// listener must not re-enter this registry; pass nullptr to clear.
   /// Survives Configure()/Disable(). No cost when no fault fires.
-  void SetInjectionListener(std::function<void(std::string_view)> listener);
+  void SetInjectionListener(std::function<void(std::string_view)> listener)
+      SONG_EXCLUDES(mu_);
 
   /// Process-wide registry. On first access, initializes itself from the
   /// SONG_FAULT_SPEC / SONG_FAULT_SEED environment variables (stays
@@ -97,12 +103,12 @@ class FaultRegistry {
 
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> injected_total_{0};
-  mutable std::mutex mu_;
-  std::string spec_;
-  uint64_t seed_ = 0;
-  std::vector<FaultRule> rules_;
-  std::map<std::string, SiteState, std::less<>> sites_;
-  std::function<void(std::string_view)> listener_;
+  mutable Mutex mu_;
+  std::string spec_ SONG_GUARDED_BY(mu_);
+  uint64_t seed_ SONG_GUARDED_BY(mu_) = 0;
+  std::vector<FaultRule> rules_ SONG_GUARDED_BY(mu_);
+  std::map<std::string, SiteState, std::less<>> sites_ SONG_GUARDED_BY(mu_);
+  std::function<void(std::string_view)> listener_ SONG_GUARDED_BY(mu_);
 };
 
 /// Hot-path helper against the global registry: a relaxed load when no

@@ -30,7 +30,13 @@ enum class StatusCode {
 };
 
 /// Lightweight status object. OK carries no allocation.
-class Status {
+///
+/// [[nodiscard]] on the class makes discarding ANY Status return value a
+/// compile error repo-wide (-Werror=unused-result): a fallible call whose
+/// outcome is ignored is exactly how corruption Statuses from the loaders
+/// were designed to never be dropped. Intentional discards (e.g. restoring
+/// a previously-validated spec) must go through SONG_IGNORE_ERROR below.
+class [[nodiscard]] Status {
  public:
   Status() = default;
 
@@ -101,7 +107,7 @@ class Status {
 
 /// Either a value or an error Status. Accessing value() on an error aborts.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
   StatusOr(Status status)                        // NOLINT(runtime/explicit)
@@ -145,6 +151,17 @@ class StatusOr {
     ::song::Status _st = (expr);                \
     if (!_st.ok()) return _st;                  \
   } while (0)
+
+namespace internal {
+template <typename T>
+inline void IgnoreResult(T&&) {}
+}  // namespace internal
+
+/// Documents an intentional discard of a Status/StatusOr result. This is
+/// the ONLY sanctioned way to drop one: raw `(void)` casts are rejected by
+/// tools/lint/song_lint.py (rule `status-discard`) so every swallow is
+/// greppable and carries a justification comment at the call site.
+#define SONG_IGNORE_ERROR(expr) ::song::internal::IgnoreResult((expr))
 
 }  // namespace song
 

@@ -7,14 +7,13 @@
 #ifndef SONG_CORE_THREAD_POOL_H_
 #define SONG_CORE_THREAD_POOL_H_
 
-#include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "core/sync.h"
 
 namespace song {
 
@@ -30,21 +29,21 @@ class ThreadPool {
   size_t num_threads() const { return workers_.size(); }
 
   /// Enqueues a task; fire-and-forget (use Wait() to join).
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) SONG_EXCLUDES(mu_);
 
   /// Blocks until all submitted tasks have finished.
-  void Wait();
+  void Wait() SONG_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() SONG_EXCLUDES(mu_);
 
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable task_cv_;
-  std::condition_variable done_cv_;
-  size_t in_flight_ = 0;
-  bool stop_ = false;
+  std::vector<std::thread> workers_;  ///< immutable after the constructor
+  Mutex mu_;
+  std::queue<std::function<void()>> tasks_ SONG_GUARDED_BY(mu_);
+  CondVar task_cv_;
+  CondVar done_cv_;
+  size_t in_flight_ SONG_GUARDED_BY(mu_) = 0;
+  bool stop_ SONG_GUARDED_BY(mu_) = false;
 };
 
 /// Runs fn(i, thread_id) for i in [0, n), dynamically chunked across

@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/logging.h"
 #include "core/random.h"
+#include "core/sync.h"
 #include "core/thread_pool.h"
 
 namespace song {
@@ -36,7 +36,7 @@ class NeighborList {
 
   // Returns true if the candidate improved the list.
   bool Insert(float dist, idx_t id) {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     if (entries_.size() >= capacity_ && dist >= entries_.back().dist) {
       return false;
     }
@@ -52,12 +52,12 @@ class NeighborList {
   }
 
   std::vector<Entry> Snapshot() const {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     return entries_;
   }
 
   void ClearNewFlags(const std::vector<idx_t>& sampled) {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     for (Entry& e : entries_) {
       if (std::find(sampled.begin(), sampled.end(), e.id) != sampled.end()) {
         e.is_new = false;
@@ -66,9 +66,9 @@ class NeighborList {
   }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<Entry> entries_;
-  size_t capacity_ = 0;
+  mutable Mutex mu_;
+  std::vector<Entry> entries_ SONG_GUARDED_BY(mu_);
+  size_t capacity_ = 0;  // immutable after Init()
 };
 
 }  // namespace
@@ -105,7 +105,7 @@ FixedDegreeGraph BuildNnDescentKnnGraph(const Dataset& data, Metric metric,
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
     // Build forward + reverse candidate sets with new/old split.
     std::vector<std::vector<idx_t>> new_cand(n), old_cand(n);
-    std::unique_ptr<std::mutex[]> cand_mu(std::make_unique<std::mutex[]>(n));
+    std::unique_ptr<Mutex[]> cand_mu(std::make_unique<Mutex[]>(n));
     ParallelFor(n, options.num_threads, [&](size_t v, size_t) {
       RandomEngine rng(options.seed ^ (iter * 1315423911ULL) ^ v);
       std::vector<idx_t> sampled_new;
@@ -113,17 +113,17 @@ FixedDegreeGraph BuildNnDescentKnnGraph(const Dataset& data, Metric metric,
         if (e.is_new && rng.NextUniform() < options.sample_rate) {
           sampled_new.push_back(e.id);
           {
-            std::lock_guard<std::mutex> guard(cand_mu[v]);
+            MutexLock guard(cand_mu[v]);
             new_cand[v].push_back(e.id);
           }
-          std::lock_guard<std::mutex> guard(cand_mu[e.id]);
+          MutexLock guard(cand_mu[e.id]);
           new_cand[e.id].push_back(static_cast<idx_t>(v));  // reverse edge
         } else if (!e.is_new) {
           {
-            std::lock_guard<std::mutex> guard(cand_mu[v]);
+            MutexLock guard(cand_mu[v]);
             old_cand[v].push_back(e.id);
           }
-          std::lock_guard<std::mutex> guard(cand_mu[e.id]);
+          MutexLock guard(cand_mu[e.id]);
           old_cand[e.id].push_back(static_cast<idx_t>(v));
         }
       }

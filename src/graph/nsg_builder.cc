@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <vector>
 
+#include "core/sync.h"
 #include "core/thread_pool.h"
 #include "graph/graph_search.h"
 #include "graph/knn_graph.h"
@@ -134,17 +134,17 @@ NsgIndex NsgBuilder::Build(const Dataset& data, Metric metric,
 
   // Pass 2: reverse edges ("InterInsert"): p is offered to each selected
   // neighbor; overflowing rows are re-selected with the occlusion rule.
-  std::unique_ptr<std::mutex[]> locks(std::make_unique<std::mutex[]>(n));
+  std::unique_ptr<Mutex[]> locks(std::make_unique<Mutex[]>(n));
   ParallelFor(n, options.num_threads, [&](size_t v, size_t) {
     const idx_t p = static_cast<idx_t>(v);
     // Copy under lock: adjacency[p] may be rewritten by other workers.
     std::vector<idx_t> targets;
     {
-      std::lock_guard<std::mutex> guard(locks[p]);
+      MutexLock guard(locks[p]);
       targets = adjacency[p];
     }
     for (const idx_t q : targets) {
-      std::lock_guard<std::mutex> guard(locks[q]);
+      MutexLock guard(locks[q]);
       auto& row = adjacency[q];
       if (std::find(row.begin(), row.end(), p) != row.end()) continue;
       if (row.size() < options.degree) {

@@ -4,12 +4,12 @@
 #include <atomic>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <set>
 #include <utility>
 #include <vector>
 
+#include "core/sync.h"
 #include "core/thread_pool.h"
 #include "core/types.h"
 #include "graph/graph_search.h"
@@ -26,13 +26,13 @@ class LockedGraph {
       : degree_(degree),
         rows_(n * degree, kInvalidIdx),
         counts_(n),
-        locks_(std::make_unique<std::mutex[]>(n)) {}
+        locks_(std::make_unique<Mutex[]>(n)) {}
 
   size_t degree() const { return degree_; }
 
   // Copies the row of v into out (returns count).
   size_t SnapshotRow(idx_t v, idx_t* out) {
-    std::lock_guard<std::mutex> guard(locks_[v]);
+    MutexLock guard(locks_[v]);
     const size_t count = counts_[v];
     std::copy_n(&rows_[static_cast<size_t>(v) * degree_], count, out);
     return count;
@@ -40,7 +40,7 @@ class LockedGraph {
 
   // Replaces the row of v with `neighbors` (<= degree entries).
   void SetRow(idx_t v, const std::vector<idx_t>& neighbors) {
-    std::lock_guard<std::mutex> guard(locks_[v]);
+    MutexLock guard(locks_[v]);
     idx_t* row = &rows_[static_cast<size_t>(v) * degree_];
     std::fill(row, row + degree_, kInvalidIdx);
     std::copy(neighbors.begin(), neighbors.end(), row);
@@ -52,7 +52,7 @@ class LockedGraph {
   template <typename DistToV, typename Select>
   void AddEdgeWithShrink(idx_t v, idx_t u, const DistToV& dist_to_v,
                          const Select& select) {
-    std::lock_guard<std::mutex> guard(locks_[v]);
+    MutexLock guard(locks_[v]);
     idx_t* row = &rows_[static_cast<size_t>(v) * degree_];
     const size_t count = counts_[v];
     for (size_t i = 0; i < count; ++i) {
@@ -92,7 +92,7 @@ class LockedGraph {
   size_t degree_;
   std::vector<idx_t> rows_;
   std::vector<size_t> counts_;
-  std::unique_ptr<std::mutex[]> locks_;
+  std::unique_ptr<Mutex[]> locks_;
 };
 
 // Best-first search over the build-time graph, traversing only vertices

@@ -23,6 +23,10 @@ FlightRecorder::FlightRecorder(size_t capacity)
       mask_(capacity_ - 1),
       slots_(new Slot[capacity_]) {}
 
+// The recorder's write path: wait-free and allocation/log-free so it is
+// safe on the search hot path. song_lint.py rule `hot-path` rejects any
+// heap allocation, logging, or string construction inside this region.
+// song-lint: begin-hot-path(flight-recorder-record)
 void FlightRecorder::Record(const RequestRecord& record) noexcept {
   const uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
   Slot& slot = slots_[ticket & mask_];
@@ -34,26 +38,25 @@ void FlightRecorder::Record(const RequestRecord& record) noexcept {
   // complete. The payload words are relaxed atomics, so a concurrent reader
   // observes either consistent values (validated by the seq re-check) or a
   // detectable in-progress/overwritten seq — never a data race.
-  slot.seq.store(2 * ticket + 1, std::memory_order_relaxed);
-  std::atomic_thread_fence(std::memory_order_release);
+  SeqWriteBegin(slot, ticket);
   for (size_t i = 0; i < kRequestRecordWords; ++i) {
     slot.words[i].store(words[i], std::memory_order_relaxed);
   }
-  slot.seq.store(2 * ticket + 2, std::memory_order_release);
+  SeqWriteEnd(slot, ticket);
 }
+// song-lint: end-hot-path
 
 bool FlightRecorder::TryRead(uint64_t ticket, RequestRecord* out) const {
   const Slot& slot = slots_[ticket & mask_];
   const uint64_t want = 2 * ticket + 2;
   for (int attempt = 0; attempt < 4; ++attempt) {
-    const uint64_t before = slot.seq.load(std::memory_order_acquire);
+    const uint64_t before = SeqReadBegin(slot);
     if (before != want) return false;  // not yet written, or overwritten
     uint64_t words[kRequestRecordWords];
     for (size_t i = 0; i < kRequestRecordWords; ++i) {
       words[i] = slot.words[i].load(std::memory_order_relaxed);
     }
-    std::atomic_thread_fence(std::memory_order_acquire);
-    if (slot.seq.load(std::memory_order_relaxed) == want) {
+    if (SeqReadValidate(slot, want)) {
       std::memcpy(out, words, sizeof(*out));
       return true;
     }

@@ -69,10 +69,45 @@ class FlightRecorder {
  private:
   struct Slot {
     /// 0 = never written; 2*ticket+1 = write of `ticket` in progress;
-    /// 2*ticket+2 = write of `ticket` complete.
+    /// 2*ticket+2 = write of `ticket` complete. Accessed ONLY through the
+    /// Seq* protocol helpers below (song_lint.py rule `seqlock-discipline`):
+    /// a stray relaxed load or a missing fence silently breaks torn-read
+    /// detection, so every access is funneled through four named functions
+    /// whose memory orders are reviewed in one place.
     std::atomic<uint64_t> seq{0};
     std::atomic<uint64_t> words[kRequestRecordWords] = {};
   };
+
+  // --- Seqlock protocol helpers (the only sanctioned Slot::seq access). ---
+  // song-lint: begin-seqlock(helpers)
+
+  /// Writer: marks `ticket`'s write in progress (odd seq), ordered before
+  /// the payload stores by a release fence.
+  static void SeqWriteBegin(Slot& slot, uint64_t ticket) noexcept {
+    slot.seq.store(2 * ticket + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+  }
+
+  /// Writer: publishes `ticket`'s write as complete (even seq). The release
+  /// store orders every preceding payload store before the new seq value.
+  static void SeqWriteEnd(Slot& slot, uint64_t ticket) noexcept {
+    slot.seq.store(2 * ticket + 2, std::memory_order_release);
+  }
+
+  /// Reader: first seq load (acquire — synchronizes with SeqWriteEnd).
+  static uint64_t SeqReadBegin(const Slot& slot) noexcept {
+    return slot.seq.load(std::memory_order_acquire);
+  }
+
+  /// Reader: true when the payload words read since SeqReadBegin are not
+  /// torn: the acquire fence orders them before the re-read, which must
+  /// still observe `want`.
+  static bool SeqReadValidate(const Slot& slot, uint64_t want) noexcept {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return slot.seq.load(std::memory_order_relaxed) == want;
+  }
+
+  // song-lint: end-seqlock
 
   /// Reads slot for `ticket` into `out`; false on torn/overwritten data.
   bool TryRead(uint64_t ticket, RequestRecord* out) const;

@@ -88,7 +88,7 @@ std::vector<std::pair<double, uint64_t>> Histogram::NonEmptyBuckets() const {
 }
 
 Counter& MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -98,7 +98,7 @@ Counter& MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -107,7 +107,7 @@ Gauge& MetricsRegistry::GetGauge(std::string_view name) {
 }
 
 Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
@@ -118,7 +118,7 @@ Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
 
 std::vector<std::pair<std::string, const Counter*>>
 MetricsRegistry::Counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::pair<std::string, const Counter*>> out;
   out.reserve(counters_.size());
   for (const auto& [name, metric] : counters_) {
@@ -129,7 +129,7 @@ MetricsRegistry::Counters() const {
 
 std::vector<std::pair<std::string, const Gauge*>> MetricsRegistry::Gauges()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::pair<std::string, const Gauge*>> out;
   out.reserve(gauges_.size());
   for (const auto& [name, metric] : gauges_) {
@@ -140,7 +140,7 @@ std::vector<std::pair<std::string, const Gauge*>> MetricsRegistry::Gauges()
 
 std::vector<std::pair<std::string, const Histogram*>>
 MetricsRegistry::Histograms() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::pair<std::string, const Histogram*>> out;
   out.reserve(histograms_.size());
   for (const auto& [name, metric] : histograms_) {

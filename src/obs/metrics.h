@@ -17,11 +17,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "core/sync.h"
 
 namespace song::obs {
 
@@ -103,23 +104,32 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  Counter& GetCounter(std::string_view name);
-  Gauge& GetGauge(std::string_view name);
-  Histogram& GetHistogram(std::string_view name);
+  Counter& GetCounter(std::string_view name) SONG_EXCLUDES(mu_);
+  Gauge& GetGauge(std::string_view name) SONG_EXCLUDES(mu_);
+  Histogram& GetHistogram(std::string_view name) SONG_EXCLUDES(mu_);
 
   /// Sorted snapshots for exporters (pointers stay valid; values are live).
-  std::vector<std::pair<std::string, const Counter*>> Counters() const;
-  std::vector<std::pair<std::string, const Gauge*>> Gauges() const;
-  std::vector<std::pair<std::string, const Histogram*>> Histograms() const;
+  std::vector<std::pair<std::string, const Counter*>> Counters() const
+      SONG_EXCLUDES(mu_);
+  std::vector<std::pair<std::string, const Gauge*>> Gauges() const
+      SONG_EXCLUDES(mu_);
+  std::vector<std::pair<std::string, const Histogram*>> Histograms() const
+      SONG_EXCLUDES(mu_);
 
   /// Process-wide default registry (benches / CLI convenience).
   static MetricsRegistry& Global();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // mu_ guards only the name -> metric maps (node-based, so references
+  // returned by Get* stay valid while the maps grow); the metric values
+  // themselves are lock-free atomics updated without mu_.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      SONG_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      SONG_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      SONG_GUARDED_BY(mu_);
 };
 
 }  // namespace song::obs

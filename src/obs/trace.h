@@ -14,10 +14,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "core/sync.h"
 
 namespace song::obs {
 
@@ -126,8 +127,8 @@ class TraceCollector {
       : max_traces_(max_traces) {}
 
   /// Moves `trace` in; drops it (returning false) once the cap is reached.
-  bool Add(SearchTrace&& trace) {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool Add(SearchTrace&& trace) SONG_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     if (traces_.size() >= max_traces_) {
       ++dropped_;
       return false;
@@ -136,21 +137,21 @@ class TraceCollector {
     return true;
   }
 
-  std::vector<SearchTrace> Take() {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SearchTrace> Take() SONG_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return std::move(traces_);
   }
 
-  size_t dropped() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped() const SONG_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return dropped_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<SearchTrace> traces_;
-  size_t dropped_ = 0;
-  size_t max_traces_ = 0;
+  mutable Mutex mu_;
+  std::vector<SearchTrace> traces_ SONG_GUARDED_BY(mu_);
+  size_t dropped_ SONG_GUARDED_BY(mu_) = 0;
+  size_t max_traces_ = 0;  ///< immutable after construction
 };
 
 }  // namespace song::obs

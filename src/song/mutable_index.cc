@@ -15,6 +15,7 @@ MutableIndex::MutableIndex(Metric metric, size_t dim,
                            MutableIndexOptions options,
                            obs::MetricsRegistry* registry)
     : metric_(metric), dim_(dim), options_(options) {
+  MutexLock writer(writer_mu_);
   SONG_CHECK_MSG(dim_ > 0, "MutableIndex requires dim > 0");
   SONG_CHECK_MSG(options_.degree > 0, "MutableIndex requires degree > 0");
   if (registry != nullptr) {
@@ -26,11 +27,14 @@ MutableIndex::MutableIndex(Metric metric, size_t dim,
     retired_gauge_ = &registry->GetGauge("song.index.retired_snapshots");
   }
   // Version 0: the empty snapshot, so Acquire() is always valid.
-  current_ = std::make_shared<IndexSnapshot>(
-      std::make_shared<Dataset>(0, dim_),
-      std::make_shared<FixedDegreeGraph>(0, options_.degree),
-      std::make_shared<std::vector<uint8_t>>(), metric_, /*entry=*/0,
-      /*version=*/0);
+  {
+    WriterLock snap(snapshot_mu_);
+    current_ = std::make_shared<IndexSnapshot>(
+        std::make_shared<Dataset>(0, dim_),
+        std::make_shared<FixedDegreeGraph>(0, options_.degree),
+        std::make_shared<std::vector<uint8_t>>(), metric_, /*entry=*/0,
+        /*version=*/0);
+  }
   UpdateGauges();
 }
 
@@ -48,7 +52,7 @@ Status MutableIndex::AdoptFrozen(Dataset data, FixedDegreeGraph graph) {
         "AdoptFrozen: graph has " + std::to_string(graph.num_vertices()) +
         " vertices for " + std::to_string(data.num()) + " points");
   }
-  std::lock_guard<std::mutex> writer(writer_mu_);
+  MutexLock writer(writer_mu_);
   const std::shared_ptr<const IndexSnapshot> cur = Current();
   if (cur->version() != 0 || cur->num_points() != 0) {
     return Status::FailedPrecondition(
@@ -76,7 +80,7 @@ StatusOr<idx_t> MutableIndex::Insert(const float* vector) {
                                      std::to_string(d));
     }
   }
-  std::lock_guard<std::mutex> writer(writer_mu_);
+  MutexLock writer(writer_mu_);
   const std::shared_ptr<const IndexSnapshot> cur = Current();
   const size_t n = cur->num_points();
   if (n >= static_cast<size_t>(kInvalidIdx)) {
@@ -102,7 +106,7 @@ StatusOr<idx_t> MutableIndex::Insert(const float* vector) {
 }
 
 Status MutableIndex::Delete(idx_t id) {
-  std::lock_guard<std::mutex> writer(writer_mu_);
+  MutexLock writer(writer_mu_);
   const std::shared_ptr<const IndexSnapshot> cur = Current();
   if (id >= cur->num_points()) {
     return Status::OutOfRange("Delete: id " + std::to_string(id) +
@@ -124,7 +128,7 @@ Status MutableIndex::Delete(idx_t id) {
 }
 
 std::shared_ptr<const IndexSnapshot> MutableIndex::Acquire() const {
-  std::lock_guard<std::mutex> guard(snapshot_mu_);
+  ReaderLock guard(snapshot_mu_);
   return current_;
 }
 
@@ -133,14 +137,14 @@ std::shared_ptr<const IndexSnapshot> MutableIndex::Current() const {
 }
 
 size_t MutableIndex::degree() const {
-  std::lock_guard<std::mutex> writer(writer_mu_);
+  MutexLock writer(writer_mu_);
   return options_.degree;
 }
 
 void MutableIndex::Publish(std::shared_ptr<const IndexSnapshot> next) {
   std::shared_ptr<const IndexSnapshot> old;
   {
-    std::lock_guard<std::mutex> guard(snapshot_mu_);
+    WriterLock guard(snapshot_mu_);
     old = std::move(current_);
     current_ = std::move(next);
   }
@@ -165,7 +169,7 @@ size_t MutableIndex::ReclaimRetiredLocked() {
 }
 
 size_t MutableIndex::ReclaimRetired() {
-  std::lock_guard<std::mutex> writer(writer_mu_);
+  MutexLock writer(writer_mu_);
   const size_t swept = ReclaimRetiredLocked();
   if (reclaimed_ != nullptr && swept > 0) reclaimed_->Increment(swept);
   UpdateGauges();
@@ -173,7 +177,7 @@ size_t MutableIndex::ReclaimRetired() {
 }
 
 size_t MutableIndex::retired_versions() const {
-  std::lock_guard<std::mutex> writer(writer_mu_);
+  MutexLock writer(writer_mu_);
   return retired_.size();
 }
 

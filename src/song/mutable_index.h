@@ -35,12 +35,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/dataset.h"
 #include "core/distance.h"
 #include "core/status.h"
+#include "core/sync.h"
 #include "core/types.h"
 #include "graph/fixed_degree_graph.h"
 #include "obs/metrics.h"
@@ -77,54 +77,61 @@ class MutableIndex {
   /// entry vertex is 0 (the NswBuilder reachability anchor). The adopted
   /// graph is published untouched, so with no mutations, snapshot searches
   /// are bit-identical to a SongSearcher over the same data and graph.
-  Status AdoptFrozen(Dataset data, FixedDegreeGraph graph);
+  Status AdoptFrozen(Dataset data, FixedDegreeGraph graph)
+      SONG_EXCLUDES(writer_mu_);
 
   /// Inserts a vector (dim() floats, finite), returning its new id. Ids are
   /// dense and append-only: the i-th successful insert into an index
   /// adopted with n points gets id n + i; deleted ids are never reused.
-  StatusOr<idx_t> Insert(const float* vector);
+  StatusOr<idx_t> Insert(const float* vector) SONG_EXCLUDES(writer_mu_);
 
   /// Tombstones a live point. The vertex stays traversable (routing quality
   /// under churn) but is filtered from every subsequent snapshot's results.
   /// NotFound if already deleted, OutOfRange if the id was never assigned.
-  Status Delete(idx_t id);
+  Status Delete(idx_t id) SONG_EXCLUDES(writer_mu_);
 
   /// Pins the current version. The returned snapshot is immutable and
   /// serves bit-identical results for its whole lifetime, regardless of
-  /// concurrent writers.
-  std::shared_ptr<const IndexSnapshot> Acquire() const;
+  /// concurrent writers. Readers share snapshot_mu_, so concurrent
+  /// Acquire() calls never serialize on each other — only a Publish in
+  /// flight (the pointer swap, a few instructions) blocks them.
+  std::shared_ptr<const IndexSnapshot> Acquire() const
+      SONG_EXCLUDES(snapshot_mu_);
 
   /// Sweeps retired versions no reader pins; returns how many were freed.
   /// Publish already sweeps opportunistically, so this mainly serves tests
   /// and idle-time maintenance.
-  size_t ReclaimRetired();
+  size_t ReclaimRetired() SONG_EXCLUDES(writer_mu_);
 
   /// Retired-but-not-yet-reclaimed versions (i.e. still pinned by readers
   /// at the last sweep).
-  size_t retired_versions() const;
+  size_t retired_versions() const SONG_EXCLUDES(writer_mu_);
 
   Metric metric() const { return metric_; }
   size_t dim() const { return dim_; }
-  size_t degree() const;
+  size_t degree() const SONG_EXCLUDES(writer_mu_);
   uint64_t version() const { return Acquire()->version(); }
   size_t num_points() const { return Acquire()->num_points(); }
   size_t live_points() const { return Acquire()->live_points(); }
 
  private:
-  std::shared_ptr<const IndexSnapshot> Current() const;
+  std::shared_ptr<const IndexSnapshot> Current() const
+      SONG_EXCLUDES(snapshot_mu_);
   /// Swaps in `next`, retires the predecessor, sweeps, updates gauges.
-  /// Caller holds writer_mu_.
-  void Publish(std::shared_ptr<const IndexSnapshot> next);
-  size_t ReclaimRetiredLocked();
-  void UpdateGauges();
+  void Publish(std::shared_ptr<const IndexSnapshot> next)
+      SONG_REQUIRES(writer_mu_) SONG_EXCLUDES(snapshot_mu_);
+  size_t ReclaimRetiredLocked() SONG_REQUIRES(writer_mu_);
+  void UpdateGauges() SONG_REQUIRES(writer_mu_) SONG_EXCLUDES(snapshot_mu_);
   void LinkNewVertex(const Dataset& data, FixedDegreeGraph* graph, idx_t v,
-                     idx_t entry);
+                     idx_t entry) SONG_REQUIRES(writer_mu_);
   bool AddReverseLink(const Dataset& data, FixedDegreeGraph* graph, idx_t u,
                       idx_t v);
 
   Metric metric_;
   size_t dim_;
-  MutableIndexOptions options_;
+  /// options_.degree is rewritten by AdoptFrozen, so the whole struct is
+  /// writer-guarded; metric_/dim_ stay lock-free (immutable after init).
+  MutableIndexOptions options_ SONG_GUARDED_BY(writer_mu_);
 
   obs::Counter* inserts_ = nullptr;
   obs::Counter* deletes_ = nullptr;
@@ -133,13 +140,19 @@ class MutableIndex {
   obs::Gauge* versions_gauge_ = nullptr;
   obs::Gauge* retired_gauge_ = nullptr;
 
-  /// Serializes mutators and guards retired_ / link_workspace_.
-  mutable std::mutex writer_mu_;
-  /// Guards the current_ pointer swap between Publish and Acquire.
-  mutable std::mutex snapshot_mu_;
-  std::shared_ptr<const IndexSnapshot> current_;
-  std::vector<std::shared_ptr<const IndexSnapshot>> retired_;
-  SongWorkspace link_workspace_;  ///< link-time search scratch, writer-only
+  /// Serializes mutators and guards retired_ / link_workspace_ / options_.
+  /// Lock order: writer_mu_ before snapshot_mu_ (Publish); never the
+  /// reverse — Acquire() takes snapshot_mu_ alone.
+  mutable Mutex writer_mu_;
+  /// Guards the current_ pointer swap: Publish writes it under the
+  /// exclusive side, Acquire copies it under the shared side so readers
+  /// never serialize behind each other.
+  mutable SharedMutex snapshot_mu_;
+  std::shared_ptr<const IndexSnapshot> current_ SONG_GUARDED_BY(snapshot_mu_);
+  std::vector<std::shared_ptr<const IndexSnapshot>> retired_
+      SONG_GUARDED_BY(writer_mu_);
+  /// Link-time search scratch, writer-only.
+  SongWorkspace link_workspace_ SONG_GUARDED_BY(writer_mu_);
 };
 
 }  // namespace song

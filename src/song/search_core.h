@@ -295,6 +295,11 @@ std::vector<Neighbor> SongSearchCore(const FixedDegreeGraph& graph,
     }
 
     // ---- Stage 2: bulk distance computation. ----
+    // The per-iteration inner loop every candidate funnels through; kept
+    // free of heap allocation and logging (song_lint.py rule `hot-path`;
+    // the resize below never allocates — capacity for degree * multi_step
+    // entries is reserved before the loop).
+    // song-lint: begin-hot-path(search-core-stage2)
     dists.resize(candidates.size());
     if constexpr (requires {
                     distance.ComputeBatch(candidates.data(),
@@ -309,6 +314,7 @@ std::vector<Neighbor> SongSearchCore(const FixedDegreeGraph& graph,
     }
     local.distance_computations += candidates.size();
     local.data_bytes_loaded += candidates.size() * point_bytes;
+    // song-lint: end-hot-path
 
     // ---- Stage 3: data structure maintenance (single logical thread). ----
     for (size_t i = 0; i < candidates.size(); ++i) {

@@ -1,0 +1,231 @@
+// Copyright 2026 The SONG-Repro Authors.
+//
+// Semantics of the annotated sync wrappers (core/sync.h): mutual exclusion,
+// TryLock, shared/exclusive modes, CondVar wakeups — exercised with real
+// thread contention so the thread-sanitizer CI leg (gtest_filter includes
+// Sync*) proves the wrappers add no races of their own. Also pins the
+// no-op fallback contract: on compilers without Clang's capability
+// attributes the SONG_* annotation macros must expand to nothing, so
+// annotated headers stay warning-free on GCC.
+
+#include "core/sync.h"
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace song {
+namespace {
+
+TEST(SyncMutex, MutualExclusionUnderContention) {
+  Mutex mu;
+  int counter = 0;  // deliberately non-atomic: the lock is the protection
+  constexpr int kThreads = 8;
+  constexpr int kIncrementsPerThread = 5000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&mu, &counter] {
+      for (int i = 0; i < kIncrementsPerThread; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter, kThreads * kIncrementsPerThread);
+}
+
+TEST(SyncMutex, TryLockReportsContention) {
+  Mutex mu;
+  mu.Lock();
+  // try_lock while another thread holds the mutex is the defined case;
+  // probing from the owning thread would be UB, so probe from a helper.
+  bool acquired = true;
+  std::thread prober([&] {
+    if (mu.TryLock()) {
+      acquired = true;
+      mu.Unlock();
+    } else {
+      acquired = false;
+    }
+  });
+  prober.join();
+  EXPECT_FALSE(acquired);
+  mu.Unlock();
+
+  std::thread prober2([&] {
+    if (mu.TryLock()) {
+      acquired = true;
+      mu.Unlock();
+    } else {
+      acquired = false;
+    }
+  });
+  prober2.join();
+  EXPECT_TRUE(acquired);  // free -> acquired
+}
+
+TEST(SyncSharedMutex, ReadersShareWritersExclude) {
+  SharedMutex mu;
+  std::atomic<int> concurrent_readers{0};
+  std::atomic<int> inside{0};
+  std::atomic<bool> overlap_timeout{false};
+  std::atomic<bool> writer_saw_readers{false};
+  int guarded = 0;
+  constexpr int kReaders = 4;
+
+  // Rendezvous INSIDE the shared section: every reader holds the lock and
+  // spins until all kReaders are in simultaneously. If shared mode wrongly
+  // serialized readers this could never happen, and the bounded spin trips.
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      ReaderLock lock(mu);
+      concurrent_readers.fetch_add(1);
+      inside.fetch_add(1);
+      for (long spin = 0; inside.load() < kReaders; ++spin) {
+        if (spin > 200'000'000L) {  // ~seconds: readers never overlapped
+          overlap_timeout.store(true);
+          break;
+        }
+        std::this_thread::yield();
+      }
+      EXPECT_EQ(guarded, 0);  // writer cannot run while any reader holds mu
+      concurrent_readers.fetch_sub(1);
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  EXPECT_FALSE(overlap_timeout.load()) << "shared mode serialized readers";
+
+  std::thread writer([&] {
+    WriterLock lock(mu);
+    writer_saw_readers.store(concurrent_readers.load() != 0);
+    guarded = 1;
+  });
+  writer.join();
+  EXPECT_FALSE(writer_saw_readers.load());
+  EXPECT_EQ(guarded, 1);
+
+  // TryLock honesty while shared-held: exclusive unavailable, shared still
+  // grantable. Probed from helper threads — calling try_lock from a thread
+  // that already owns the mutex in any mode would be UB.
+  mu.LockShared();
+  bool exclusive_ok = true;
+  bool shared_ok = false;
+  std::thread prober([&] {
+    if (mu.TryLock()) {
+      exclusive_ok = true;
+      mu.Unlock();
+    } else {
+      exclusive_ok = false;
+    }
+    if (mu.TryLockShared()) {
+      shared_ok = true;
+      mu.UnlockShared();
+    } else {
+      shared_ok = false;
+    }
+  });
+  prober.join();
+  EXPECT_FALSE(exclusive_ok);
+  EXPECT_TRUE(shared_ok);
+  mu.UnlockShared();
+}
+
+TEST(SyncCondVar, ProducerConsumerHandoff) {
+  Mutex mu;
+  CondVar cv;
+  std::vector<int> queue;
+  bool done = false;
+  constexpr int kItems = 1000;
+
+  std::thread consumer([&] {
+    int consumed = 0;
+    while (true) {
+      MutexLock lock(mu);
+      cv.Wait(mu, [&]() SONG_REQUIRES(mu) { return !queue.empty() || done; });
+      consumed += static_cast<int>(queue.size());
+      queue.clear();
+      if (done) break;
+    }
+    MutexLock lock(mu);
+    queue.push_back(consumed);  // report back under the lock
+  });
+
+  for (int i = 0; i < kItems; ++i) {
+    MutexLock lock(mu);
+    queue.push_back(i);
+    cv.NotifyOne();
+  }
+  {
+    MutexLock lock(mu);
+    done = true;
+    cv.NotifyAll();
+  }
+  consumer.join();
+
+  MutexLock lock(mu);
+  ASSERT_EQ(queue.size(), 1u);
+  EXPECT_EQ(queue[0], kItems);
+}
+
+TEST(SyncCondVar, PredicateWaitSeesNotifyAll) {
+  Mutex mu;
+  CondVar cv;
+  int phase = 0;
+  constexpr int kWaiters = 4;
+  std::atomic<int> released{0};
+
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int t = 0; t < kWaiters; ++t) {
+    waiters.emplace_back([&] {
+      MutexLock lock(mu);
+      cv.Wait(mu, [&]() SONG_REQUIRES(mu) { return phase == 1; });
+      released.fetch_add(1);
+    });
+  }
+  {
+    MutexLock lock(mu);
+    phase = 1;
+    cv.NotifyAll();
+  }
+  for (std::thread& t : waiters) t.join();
+  EXPECT_EQ(released.load(), kWaiters);
+}
+
+// On toolchains without Clang's capability attributes the annotation macros
+// must vanish entirely — an annotated declaration is the same token stream
+// as an unannotated one. Double-stringification: if SONG_GUARDED_BY(mu)
+// expanded to anything, the stringified literal would be longer than "".
+#define SONG_TEST_STR_(x) #x
+#define SONG_TEST_STR(x) SONG_TEST_STR_(x)
+
+TEST(SyncAnnotations, MacrosCompileAwayWithoutCapabilityAttributes) {
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+  constexpr bool kHaveAttributes = true;
+#else
+  constexpr bool kHaveAttributes = false;
+#endif
+#else
+  constexpr bool kHaveAttributes = false;
+#endif
+  const char* expansion = SONG_TEST_STR(SONG_GUARDED_BY(mu));
+  if (kHaveAttributes) {
+    EXPECT_NE(std::strlen(expansion), 0u);
+  } else {
+    EXPECT_EQ(std::strlen(expansion), 0u);
+    EXPECT_EQ(std::strlen(SONG_TEST_STR(SONG_EXCLUDES(mu))), 0u);
+    EXPECT_EQ(std::strlen(SONG_TEST_STR(SONG_REQUIRES(mu))), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace song

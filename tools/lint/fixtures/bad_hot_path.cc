@@ -1,0 +1,20 @@
+// Fixture: planted hot-path violations inside a marked region.
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+void Hot(std::vector<int>& v) {
+  // song-lint: begin-hot-path(fixture-hot)
+  v.push_back(1);                       // violation: push_back
+  auto p = std::make_unique<int>(2);    // violation: make_unique
+  std::string s = "alloc";              // violation: std::string
+  int* raw = new int(3);                // violation: operator new
+  delete raw;
+  (void)p;
+  // song-lint: end-hot-path
+  v.push_back(4);  // outside the region: allowed
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Fixture: planted raw-sync violations. Every std:: primitive here must be
+// flagged; the commented-out one must NOT be (comments are stripped).
+#include <mutex>
+#include <shared_mutex>
+
+namespace fixture {
+
+struct Bad {
+  std::mutex mu;                 // violation: raw std::mutex
+  std::shared_mutex smu;         // violation: raw std::shared_mutex
+};
+
+void Use(Bad& b) {
+  std::lock_guard<std::mutex> lock(b.mu);  // violation: raw lock_guard
+  // std::mutex in a comment is fine.
+  const char* doc = "std::mutex in a string is fine";
+  (void)doc;
+}
+
+}  // namespace fixture

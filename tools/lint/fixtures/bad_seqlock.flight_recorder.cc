@@ -1,0 +1,24 @@
+// Fixture: planted seqlock-discipline violations. The basename must end in
+// flight_recorder.cc for the rule to apply (it is scoped to the recorder's
+// translation units).
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+struct Slot {
+  std::atomic<uint64_t> seq{0};
+};
+
+uint64_t Bad(Slot& slot) {
+  slot.seq.store(1, std::memory_order_relaxed);  // violation: outside region
+  return slot.seq.load(std::memory_order_acquire);  // violation
+}
+
+// song-lint: begin-seqlock(fixture)
+uint64_t Good(Slot& slot) {
+  return slot.seq.load(std::memory_order_acquire);  // sanctioned: in region
+}
+// song-lint: end-seqlock
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture: planted status-discard violations.
+namespace fixture {
+
+struct Status {
+  bool ok() const { return true; }
+};
+struct Result {
+  Status status() const { return {}; }
+};
+
+Status DoWork();
+Result TryWork();
+
+void Bad() {
+  (void)DoWork();           // violation: raw (void) discard of a call
+  TryWork().status().ok();  // violation: inspected and dropped
+}
+
+void Fine(int unused) {
+  (void)unused;  // plain unused-value silencer: allowed (no call)
+}
+
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Fixture: a begin-hot-path with no matching end marker must be flagged
+// (otherwise deleting an end marker silently exempts the rest of the file).
+namespace fixture {
+
+// song-lint: begin-hot-path(fixture-unterminated)
+inline int Hot(int x) { return x + 1; }
+
+}  // namespace fixture

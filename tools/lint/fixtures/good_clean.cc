@@ -1,0 +1,31 @@
+// Fixture: a clean file — annotated wrappers, sanctioned discard macro,
+// allocation outside hot regions. Must produce zero violations.
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "core/sync.h"
+
+namespace fixture {
+
+struct Thing {
+  song::Mutex mu;
+  std::vector<int> items;
+};
+
+inline void Use(Thing& t) {
+  song::MutexLock lock(t.mu);
+  t.items.push_back(1);  // allocation is fine outside hot-path regions
+  std::string s = "std::mutex mentioned only in this string";
+  (void)s;
+}
+
+// song-lint: begin-hot-path(fixture-clean)
+inline int Hot(const std::vector<int>& v) {
+  int sum = 0;
+  for (int x : v) sum += x;
+  return sum;
+}
+// song-lint: end-hot-path
+
+}  // namespace fixture
