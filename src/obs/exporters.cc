@@ -361,6 +361,14 @@ std::string StatuszToJson(const StatuszContext& context) {
   }
   out += "}},\n";
 
+  out += "  \"serve\": ";
+  if (!context.serve_json.empty()) {
+    out += context.serve_json;
+  } else {
+    out += "null";
+  }
+  out += ",\n";
+
   out += "  \"metrics\": ";
   if (context.registry != nullptr) {
     std::string metrics = MetricsToJson(*context.registry);

@@ -60,11 +60,15 @@ struct StatuszContext {
   std::string command;         ///< CLI command serving the dump
   int status_code = 0;         ///< StatusCode of the run as int
   std::string status_message;  ///< empty when OK
+  /// Serving-tier state as a pre-rendered JSON object (SongServer::
+  /// ServeStatusJson); empty = not serving, emitted as null.
+  std::string serve_json;
 };
 
 /// One-shot serving-state dump: {"schema_version", "command", "status",
 /// "build" (describe), "simd" (cpu/active tier), "fault" (spec, armed,
-/// injected counts), "metrics" (MetricsToJson's document), and
+/// injected counts), "serve" (the serving tier's ServeStatusJson, null
+/// when not serving), "metrics" (MetricsToJson's document), and
 /// "flight_recorder" (FlightRecorder::ToJson's document).
 std::string StatuszToJson(const StatuszContext& context);
 

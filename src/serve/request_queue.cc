@@ -1,0 +1,91 @@
+#include "serve/request_queue.h"
+
+#include <utility>
+
+#include "core/logging.h"
+#include "core/timer.h"
+
+namespace song::serve {
+
+RequestQueue::RequestQueue(size_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1) {}
+
+Status RequestQueue::Push(std::unique_ptr<PendingRequest>& request) {
+  SONG_CHECK(request != nullptr);
+  MutexLock lock(mu_);
+  if (closed_) {
+    return Status::Unavailable("request queue draining: not accepting work");
+  }
+  if (queue_.size() >= capacity_) {
+    return Status::ResourceExhausted(
+        "request queue full: " + std::to_string(queue_.size()) + " of " +
+        std::to_string(capacity_) + " slots");
+  }
+  queue_.push_back(std::move(request));
+  nonempty_.NotifyOne();
+  return Status::OK();
+}
+
+size_t RequestQueue::PopBatch(std::unique_ptr<PendingRequest>* out,
+                              size_t max_batch, uint64_t max_wait_us) {
+  if (max_batch == 0) return 0;
+  MutexLock lock(mu_);
+  while (queue_.empty() && !closed_) nonempty_.Wait(mu_);
+  if (queue_.empty()) return 0;  // closed and drained: worker-exit signal
+  size_t n = 0;
+  const BatchKey key = KeyOf(*queue_.front());
+  // song-lint: begin-hot-path(serve-batch-form)
+  // Continuous batching under the queue mutex: every queued request and
+  // every other worker waits on this loop, so it is allocation- and
+  // logging-free. Sweep claims compatible requests in arrival order; the
+  // linger then blocks for the *remaining* slice of max_wait_us so late
+  // arrivals can top the batch up without a fixed-size wait.
+  Timer linger;
+  for (;;) {
+    for (auto it = queue_.begin(); it != queue_.end() && n < max_batch;) {
+      if (KeyOf(**it) == key) {
+        out[n] = std::move(*it);
+        ++n;
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (n >= max_batch || closed_ || max_wait_us == 0) break;
+    const double elapsed = linger.ElapsedMicros();
+    const double budget = static_cast<double>(max_wait_us);
+    if (elapsed >= budget) break;
+    nonempty_.WaitFor(mu_, static_cast<uint64_t>(budget - elapsed));
+  }
+  // song-lint: end-hot-path
+  return n;
+}
+
+void RequestQueue::Close() {
+  MutexLock lock(mu_);
+  closed_ = true;
+  nonempty_.NotifyAll();
+}
+
+std::vector<std::unique_ptr<PendingRequest>> RequestQueue::TakeAll() {
+  MutexLock lock(mu_);
+  std::vector<std::unique_ptr<PendingRequest>> taken;
+  taken.reserve(queue_.size());
+  while (!queue_.empty()) {
+    taken.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return taken;
+}
+
+size_t RequestQueue::Size() const {
+  MutexLock lock(mu_);
+  return queue_.size();
+}
+
+bool RequestQueue::closed() const {
+  MutexLock lock(mu_);
+  return closed_;
+}
+
+}  // namespace song::serve

@@ -139,7 +139,8 @@ StatusOr<BatchResult> BatchEngine::TrySearch(
   // only when telemetry asks for it; otherwise this path is stamp-free and
   // results/allocations match the pre-lifecycle engine exactly.
   const bool lifecycle_on =
-      telemetry.registry != nullptr || telemetry.flight_recorder != nullptr;
+      telemetry.request_lifecycle && (telemetry.registry != nullptr ||
+                                      telemetry.flight_recorder != nullptr);
   Timer clock;  // epoch: request arrival (the enqueue stamp is 0)
   const uint64_t id_base =
       lifecycle_on ? request_seq_.fetch_add(

@@ -49,6 +49,12 @@ struct BatchTelemetry {
   /// Only the checked TrySearch path records (Search stays lifecycle-free),
   /// and each record is one wait-free, allocation-free ring write.
   obs::FlightRecorder* flight_recorder = nullptr;
+  /// When false, TrySearch skips per-request records and song.req.* stage
+  /// histograms even with a registry/recorder set. The serving tier sets
+  /// this: it stamps its own RequestTimeline covering the full network
+  /// lifecycle, and engine-level records would double-count each request.
+  /// Batch-level metrics (song.batch.*) are unaffected.
+  bool request_lifecycle = true;
 };
 
 struct BatchResult {

@@ -1,9 +1,20 @@
 #!/usr/bin/env bash
-# End-to-end smoke test for song_cli: gen -> build -> stats -> gt -> search.
+# End-to-end smoke test for song_cli: gen -> build -> stats -> gt -> search,
+# plus a short serving-tier leg (song_server + song_loadgen) when those
+# binaries are passed as $2/$3.
 set -euo pipefail
 CLI="$1"
+SERVER="${2:-}"
+LOADGEN="${3:-}"
 DIR="$(mktemp -d)"
-trap 'rm -rf "$DIR"' EXIT
+SERVER_PID=""
+cleanup() {
+  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -KILL "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
 
 "$CLI" gen --preset sift --scale 0.05 --out "$DIR/data.sngd" --queries "$DIR/q.sngd"
 "$CLI" build --data "$DIR/data.sngd" --out "$DIR/graph.sngg" --degree 16
@@ -228,6 +239,61 @@ doc = json.load(open(sys.argv[1]))
 assert doc["status"]["name"] == "unavailable", doc["status"]
 assert doc["fault"]["armed"] is True, doc["fault"]
 PY
+
+# --- Serving front-end smoke cases (docs/serving.md) -----------------------
+
+if [ -n "$SERVER" ] && [ -n "$LOADGEN" ]; then
+  # Clean path: server up, closed-loop clients, wire-fetched statusz,
+  # SIGTERM drain, conservation on the DRAINED line, schema-valid dumps.
+  "$SERVER" --data "$DIR/data.sngd" --graph "$DIR/graph.sngg" \
+        --port 0 --port-file "$DIR/port" --workers 2 \
+        --statusz-on-exit "$DIR/serve_statusz.json" --duration-s 120 \
+        > "$DIR/server.log" 2> "$DIR/server.err" &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    [ -s "$DIR/port" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || {
+      echo "FAIL: song_server died during startup" >&2
+      cat "$DIR/server.err" >&2; exit 1; }
+    sleep 0.1
+  done
+  PORT="$(cat "$DIR/port")"
+  OUT=$("$LOADGEN" --port "$PORT" --queries "$DIR/q.sngd" \
+        --connections 2 --requests 100 --k 10 --queue 96 \
+        --statusz-out "$DIR/serve_statusz_live.json")
+  echo "$OUT"
+  echo "$OUT" | grep -q "LOADGEN sent=200 "
+  echo "$OUT" | grep -q "LATENCY p50_us="
+  # Every closed-loop request must come back OK on the clean path.
+  echo "$OUT" | grep -q " answered=200 ok=200 "
+  python3 "$TOOLS_DIR/validate_telemetry.py" \
+        --statusz "$DIR/serve_statusz_live.json"
+  kill -TERM "$SERVER_PID"
+  SERVER_RC=0
+  wait "$SERVER_PID" || SERVER_RC=$?
+  SERVER_PID=""
+  cat "$DIR/server.log"
+  [ "$SERVER_RC" -eq 0 ] || {
+    echo "FAIL: song_server exited $SERVER_RC" >&2
+    cat "$DIR/server.err" >&2; exit 1; }
+  grep -q "^DRAINED accepted=200 ok=200 shed=0 deadline=0 error=0$" \
+        "$DIR/server.log"
+  python3 "$TOOLS_DIR/validate_telemetry.py" \
+        --statusz "$DIR/serve_statusz.json"
+
+  # Flag validation: usage errors must exit 2 with a diagnostic.
+  SERVE_ERR="$DIR/serve_stderr.txt"; CODE=0
+  "$SERVER" --data "$DIR/data.sngd" --graph "$DIR/graph.sngg" \
+        --workers 0 >/dev/null 2>"$SERVE_ERR" || CODE=$?
+  [ "$CODE" -eq 2 ] && grep -q "workers must be >= 1" "$SERVE_ERR" || {
+    echo "FAIL: --workers 0 not rejected (exit $CODE)" >&2; exit 1; }
+  CODE=0
+  "$LOADGEN" --port 1 --dim 4 --mode open >/dev/null 2>"$SERVE_ERR" \
+        || CODE=$?
+  [ "$CODE" -eq 2 ] && grep -q "requires --qps" "$SERVE_ERR" || {
+    echo "FAIL: open loop without --qps not rejected (exit $CODE)" >&2
+    exit 1; }
+fi
 
 # Bench gate self-test: the committed baselines must pass against
 # themselves and a planted 2x slowdown must fail (both modes).

@@ -1,0 +1,28 @@
+// Fixture: planted violations inside a serve-batch-form-style region — the
+// scheduler's batch-forming loop runs under the queue mutex, so an
+// allocation or a log line there stalls every queued request and every
+// other worker.
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct Pending {
+  int id = 0;
+};
+
+size_t FormBatch(std::deque<Pending>& queue, std::vector<Pending>& out) {
+  size_t n = 0;
+  // song-lint: begin-hot-path(serve-batch-form)
+  while (!queue.empty()) {
+    out.push_back(queue.front());          // violation: push_back
+    std::string label = "claimed";         // violation: std::string
+    queue.pop_front();
+    ++n;
+  }
+  // song-lint: end-hot-path
+  return n;
+}
+
+}  // namespace fixture

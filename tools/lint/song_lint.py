@@ -63,6 +63,7 @@ END_SEQ = re.compile(r"//\s*song-lint:\s*end-seqlock\b")
 REQUIRED_HOT_REGIONS = {
     "flight-recorder-record",
     "search-core-stage2",
+    "serve-batch-form",
 }
 
 RAW_SYNC_PATTERN = re.compile(
@@ -343,6 +344,7 @@ def self_test() -> int:
 
     run_one("bad_raw_sync.cc", ["raw-sync"])
     run_one("bad_hot_path.cc", ["hot-path"])
+    run_one("bad_batch_form.cc", ["hot-path"])
     run_one("bad_status_discard.cc", ["status-discard"])
     run_one("bad_seqlock.flight_recorder.cc", ["seqlock-discipline"])
     run_one("bad_unterminated.cc", ["hot-path"])
@@ -363,7 +365,7 @@ def self_test() -> int:
             print("  " + f)
         return 1
     print("song_lint self-test passed "
-          "(6 fixtures, required regions present).")
+          "(7 fixtures, required regions present).")
     return 0
 
 

@@ -26,9 +26,17 @@ Checks (see docs/observability.md for the formats):
   * Flight recorder: schema_version/capacity (power of two)/
     total_recorded/records; each record's total_us telescopes to its three
     stages and its fields are typed and non-negative.
-  * Statusz: the one-shot dump — command/status/build/simd/fault sections
-    plus embedded metrics + flight-recorder documents (each either null or
-    valid per the rules above).
+  * Statusz: the one-shot dump — command/status/build/simd/fault/serve
+    sections plus embedded metrics + flight-recorder documents (each
+    either null or valid per the rules above). The serve section (null
+    for batch CLI runs, populated by song_server) must carry the queue /
+    batching configuration and the outcome counters, and those counters
+    must conserve: ok + shed + deadline + error never exceeds accepted,
+    with exact equality once the server has drained (draining true, no
+    live connections).
+  * song.serve.* metrics, when present in any metrics document: the
+    outcome counters must exist alongside song.serve.accepted and obey
+    the same conservation bound.
 
 Exit code 0 = all artifacts valid, 1 = validation failure, 2 = usage.
 """
@@ -122,6 +130,10 @@ def validate_chrome_trace(path):
     return len(query_spans)
 
 
+SERVE_OUTCOME_COUNTERS = ("song.serve.outcome.ok", "song.serve.outcome.shed",
+                          "song.serve.outcome.deadline",
+                          "song.serve.outcome.error")
+
 REQ_STAGE_HISTOGRAMS = ("song.req.queue_us", "song.req.batch_form_us",
                         "song.req.search_us")
 REQ_TOTAL_HISTOGRAM = "song.req.total_us"
@@ -154,6 +166,21 @@ def validate_metrics_doc(doc, label="metrics-json"):
                   or close(h["min"], h["max"], rel=0.2),
                   f"{label}: histogram {name!r} percentiles out of "
                   f"order: {h}")
+
+    # Serving-tier outcome conservation: when the server's counters are in
+    # this document, every outcome bucket must exist and their sum can
+    # never exceed accepted (requests still in flight account for any gap).
+    counters = doc["counters"]
+    if "song.serve.accepted" in counters:
+        outcome_sum = 0
+        for name in SERVE_OUTCOME_COUNTERS:
+            check(name in counters,
+                  f"{label}: song.serve.accepted present but {name!r} "
+                  f"missing")
+            outcome_sum += counters[name]
+        check(outcome_sum <= counters["song.serve.accepted"],
+              f"{label}: serve outcomes sum {outcome_sum} exceeds "
+              f"accepted {counters['song.serve.accepted']}")
 
     # Request-lifecycle telescoping: the four song.req.* stage histograms
     # must agree on count, and total must be the sum of the three stages.
@@ -235,6 +262,35 @@ def validate_flight_recorder(path):
     return validate_flight_recorder_doc(doc)
 
 
+def validate_serve_doc(doc, label="statusz.serve"):
+    check(isinstance(doc, dict), f"{label}: not an object")
+    for key in ("port", "connections", "queue_depth", "queue_capacity",
+                "max_batch", "max_wait_us", "max_inflight", "num_workers",
+                "accepted"):
+        check(isinstance(doc.get(key), int) and doc[key] >= 0,
+              f"{label}: {key!r} not a non-negative int: {doc.get(key)!r}")
+    check(isinstance(doc.get("draining"), bool),
+          f"{label}: draining not a boolean")
+    check(doc["queue_depth"] <= doc["queue_capacity"],
+          f"{label}: queue_depth {doc['queue_depth']} exceeds capacity "
+          f"{doc['queue_capacity']}")
+    outcomes = doc.get("outcomes")
+    check(isinstance(outcomes, dict), f"{label}: missing outcomes object")
+    for key in ("ok", "shed", "deadline", "error"):
+        check(isinstance(outcomes.get(key), int) and outcomes[key] >= 0,
+              f"{label}: outcomes.{key} not a non-negative int")
+    settled = sum(outcomes[k] for k in ("ok", "shed", "deadline", "error"))
+    check(settled <= doc["accepted"],
+          f"{label}: outcomes sum {settled} exceeds accepted "
+          f"{doc['accepted']}")
+    if doc["draining"] and doc["connections"] == 0:
+        # Post-drain dump: every accepted request must have settled.
+        check(settled == doc["accepted"],
+              f"{label}: drained server leaked requests: accepted "
+              f"{doc['accepted']} != settled {settled}")
+    return 1
+
+
 def validate_statusz(path):
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
@@ -279,6 +335,9 @@ def validate_statusz(path):
           "statusz: fault.sites not an object")
 
     sections = 0
+    check("serve" in doc, "statusz: serve section missing (may be null)")
+    if doc["serve"] is not None:
+        sections += validate_serve_doc(doc["serve"], label="statusz.serve")
     check("metrics" in doc, "statusz: metrics section missing (may be null)")
     if doc["metrics"] is not None:
         sections += validate_metrics_doc(doc["metrics"],
